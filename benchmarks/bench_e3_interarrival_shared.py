@@ -1,0 +1,41 @@
+"""E3a-e -- per-application inter-arrival figures (shared memory).
+
+Regenerates, per shared-memory application, the series behind the
+paper's inter-arrival histogram figures: the binned empirical density
+next to the fitted distribution's density.  The benchmarked operation
+is the dynamic-strategy temporal analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_temporal
+from repro.stats import build_histogram
+
+from conftest import SHARED_MEMORY
+
+
+def print_histogram_figure(name, log, fit):
+    """The figure as text: bin center, empirical density, fitted density."""
+    series = log.interarrival_times()
+    hist = build_histogram(series, bins=12, policy="equal-mass")
+    predicted = fit.distribution.pdf(hist.centers)
+    print()
+    print(f"--- {name}: inter-arrival histogram vs {fit.distribution.describe()} ---")
+    print(f"{'bin center':>12} {'empirical':>12} {'fitted':>12}")
+    for center, emp, model in zip(hist.centers, hist.density, predicted):
+        print(f"{center:>12.2f} {emp:>12.5f} {model:>12.5f}")
+
+
+@pytest.mark.parametrize("name", SHARED_MEMORY)
+def test_e3_interarrival_figure(runs, name, benchmark):
+    run = runs.run(name)
+    temporal = benchmark.pedantic(
+        lambda: analyze_temporal(run.log), rounds=1, iterations=1
+    )
+    print_histogram_figure(name, run.log, temporal.fit)
+    # The fitted model has positive density across the observed support.
+    series = run.log.interarrival_times()
+    hist = build_histogram(series, bins=12, policy="equal-mass")
+    assert np.all(np.isfinite(temporal.fit.distribution.pdf(hist.centers)))
+    assert temporal.sample_size == series.size

@@ -1,0 +1,33 @@
+"""E3f-g -- per-application inter-arrival figures (message passing).
+
+Same figure series as E3 for the NAS benchmarks characterized via the
+static strategy (SP2 trace -> dependency-preserving mesh replay).  The
+benchmarked operation is the trace replay itself.
+"""
+
+import pytest
+
+from repro.mesh import MeshConfig, MeshNetwork
+from repro.simkernel import Simulator
+from repro.trace import replay_trace
+
+from bench_e3_interarrival_shared import print_histogram_figure
+from conftest import MESSAGE_PASSING
+
+
+@pytest.mark.parametrize("name", MESSAGE_PASSING)
+def test_e4_interarrival_figure(runs, name):
+    run = runs.run(name)
+    print_histogram_figure(name, run.log, run.characterization.temporal.fit)
+    assert run.trace is not None and len(run.trace) > 0
+
+
+def test_e4_replay_benchmark(runs, benchmark):
+    trace = runs.run("mg").trace
+
+    def replay_once():
+        network = MeshNetwork(Simulator(), MeshConfig())
+        return replay_trace(trace, network, mode="dependency")
+
+    log = benchmark.pedantic(replay_once, rounds=1, iterations=1)
+    assert len(log) == len(trace)

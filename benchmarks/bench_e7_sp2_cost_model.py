@@ -1,0 +1,62 @@
+"""E7 -- the SP2 communication software overhead model.
+
+Regenerates the paper's validated cost regression: "the software
+overheads amount to 4.63e-2 x + 73.42 microseconds to transfer x bytes
+of data."  Ping experiments on the simulated SP2 are measured, the
+hardware transit is subtracted, and a linear regression on the
+measurements must recover the model's coefficients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mp import MessagePassingRuntime, SP2Config
+from repro.mp.sp2 import SP2_ALPHA_US, SP2_BETA_US_PER_BYTE
+
+MESSAGE_SIZES = [0, 16, 64, 256, 1024, 4096, 16384, 65536]
+
+
+def measure_ping(nbytes: int) -> float:
+    """One-way message cost measured on the simulated SP2."""
+    runtime = MessagePassingRuntime(num_ranks=2)
+    done = {}
+
+    def body(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, None, nbytes=nbytes)
+        else:
+            yield from comm.recv(0)
+            done["time"] = comm.now
+
+    runtime.run(body)
+    return done["time"]
+
+
+def test_e7_sp2_software_overhead_table(benchmark):
+    sp2 = SP2Config()
+    rows = []
+    for nbytes in MESSAGE_SIZES:
+        measured = measure_ping(nbytes)
+        software = measured - sp2.wire_time(nbytes)
+        model = SP2_BETA_US_PER_BYTE * nbytes + SP2_ALPHA_US
+        rows.append((nbytes, measured, software, model))
+    print()
+    print(f"{'bytes':>8} {'measured':>12} {'software':>12} {'paper model':>12}")
+    for nbytes, measured, software, model in rows:
+        print(f"{nbytes:>8} {measured:>12.2f} {software:>12.2f} {model:>12.2f}")
+
+    # The measured software component must match the paper's regression.
+    for nbytes, _, software, model in rows:
+        assert software == pytest.approx(model, rel=1e-9)
+
+    # Re-fit the regression from the measurements and recover alpha/beta.
+    x = np.array([r[0] for r in rows], dtype=float)
+    y = np.array([r[2] for r in rows], dtype=float)
+    beta, alpha = np.polyfit(x, y, 1)
+    print(f"refit: {beta:.4e} * x + {alpha:.2f}  "
+          f"(paper: {SP2_BETA_US_PER_BYTE:.4e} * x + {SP2_ALPHA_US:.2f})")
+    assert beta == pytest.approx(SP2_BETA_US_PER_BYTE, rel=1e-6)
+    assert alpha == pytest.approx(SP2_ALPHA_US, rel=1e-6)
+
+    # Benchmark the ping measurement itself.
+    benchmark(measure_ping, 1024)

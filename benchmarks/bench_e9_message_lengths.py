@@ -1,0 +1,45 @@
+"""E9 -- message length distributions.
+
+Regenerates the paper's message-length observations: shared-memory
+(coherence) traffic is *bimodal* -- small control messages vs
+cache-block data messages -- while message-passing traffic mixes small
+collective/control messages with large data blocks.
+"""
+
+import pytest
+
+from conftest import MESSAGE_PASSING, SHARED_MEMORY
+
+
+def test_e9_length_mode_table(runs):
+    print()
+    print(f"{'application':<12} {'modes (size:fraction)'}")
+    for name in SHARED_MEMORY + MESSAGE_PASSING:
+        volume = runs.run(name).characterization.volume
+        modes = ", ".join(
+            f"{size}B:{frac:.0%}" for size, frac in volume.modal_lengths(top=4).items()
+        )
+        print(f"{name:<12} {modes}")
+
+
+@pytest.mark.parametrize("name", SHARED_MEMORY)
+def test_e9_shared_memory_bimodal(runs, name):
+    volume = runs.run(name).characterization.volume
+    # Exactly the protocol's two size classes: 8B control, 32B block.
+    assert set(volume.length_fractions) == {8, 32}
+    assert volume.length_fractions[8] > volume.length_fractions[32], (
+        "control messages outnumber data messages in invalidation protocols"
+    )
+
+
+def test_e9_mg_mixes_small_and_large(runs):
+    volume = runs.run("mg").characterization.volume
+    sizes = sorted(volume.length_fractions)
+    assert sizes[0] <= 8        # scalar reduce/barrier messages
+    assert sizes[-1] >= 4096    # halo planes / coarse-grid payloads
+
+
+def test_e9_length_extraction_benchmark(runs, benchmark):
+    log = runs.run("cholesky").log
+    lengths = benchmark(log.message_lengths)
+    assert lengths.size == len(log)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each experiment (one per paper table/figure; see DESIGN.md section 4)
+needs one or more application characterizations.  Runs are cached at
+session scope so the suite executes every pipeline exactly once and the
+benchmarks time the interesting stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro import characterize_message_passing, characterize_shared_memory, create_app
+from repro.core.methodology import CharacterizationRun
+
+#: Problem sizes used by every experiment (paper-scale shapes,
+#: laptop-scale sizes; see EXPERIMENTS.md for the mapping).
+BENCH_PROBLEMS = {
+    "1d-fft": {"n": 256},
+    "is": {"n": 1024, "buckets": 64},
+    "cholesky": {"n": 32, "density": 0.15},
+    "nbody": {"n": 48, "steps": 2},
+    "maxflow": {"n": 20, "extra_edges": 32},
+    "3d-fft": {"n": 16},
+    "mg": {"n": 32, "cycles": 2},
+}
+
+SHARED_MEMORY = ("1d-fft", "is", "cholesky", "nbody", "maxflow")
+MESSAGE_PASSING = ("3d-fft", "mg")
+
+
+class RunCache:
+    """Lazily characterizes applications, once per session."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[str, CharacterizationRun] = {}
+
+    def run(self, name: str) -> CharacterizationRun:
+        cached = self._runs.get(name)
+        if cached is None:
+            app = create_app(name, **BENCH_PROBLEMS[name])
+            if name in SHARED_MEMORY:
+                cached = characterize_shared_memory(app)
+            else:
+                cached = characterize_message_passing(app)
+            self._runs[name] = cached
+        return cached
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    """Session-wide cache of characterization runs."""
+    return RunCache()

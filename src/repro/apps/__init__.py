@@ -1,0 +1,39 @@
+"""The application suite characterized by the methodology.
+
+Five shared-memory applications run on the execution-driven CC-NUMA
+simulator (the dynamic strategy) and two NAS message-passing benchmarks
+run on the simulated SP2 (the static strategy) -- the same suite the
+paper evaluates:
+
+=============  =================  ==========================================
+Application    Category           Communication signature (paper finding)
+=============  =================  ==========================================
+1D-FFT         shared memory      local butterfly phases + butterfly exchange
+IS             shared memory      regular; favorite-processor (bimodal uniform)
+Cholesky       shared memory      data-dependent dynamic; favorite processor
+Nbody          shared memory      three-phase timestep; broad read sharing
+Maxflow        shared memory      graph-dependent dynamic pattern
+3D-FFT         message passing    all-to-all transpose; uniform spatial
+MG             message passing    halo + p0-rooted collectives; p0 favorite
+=============  =================  ==========================================
+"""
+
+from repro.apps.base import (
+    MessagePassingApplication,
+    SharedMemoryApplication,
+    partition,
+)
+from repro.apps.registry import (
+    MESSAGE_PASSING_APPS,
+    SHARED_MEMORY_APPS,
+    create_app,
+)
+
+__all__ = [
+    "MESSAGE_PASSING_APPS",
+    "MessagePassingApplication",
+    "SHARED_MEMORY_APPS",
+    "SharedMemoryApplication",
+    "create_app",
+    "partition",
+]

@@ -1,0 +1,6 @@
+"""Message-passing applications (static strategy)."""
+
+from repro.apps.mp.fft3d import FFT3DApp
+from repro.apps.mp.mg import MultigridApp
+
+__all__ = ["FFT3DApp", "MultigridApp"]

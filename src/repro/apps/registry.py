@@ -1,0 +1,46 @@
+"""Name-based registry of the application suite.
+
+Benchmarks and examples look applications up by the names the paper
+uses; ``create_app`` builds a fresh instance with either default or
+overridden problem parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+SHARED_MEMORY_APPS = ("1d-fft", "is", "cholesky", "nbody", "maxflow")
+MESSAGE_PASSING_APPS = ("3d-fft", "mg")
+
+
+def _factories() -> Dict[str, Callable]:
+    # Imported lazily so a single app's dependency issue cannot take
+    # down the whole registry import.
+    from repro.apps.mp.fft3d import FFT3DApp
+    from repro.apps.mp.mg import MultigridApp
+    from repro.apps.shared.cholesky import CholeskyApp
+    from repro.apps.shared.fft1d import FFT1DApp
+    from repro.apps.shared.is_sort import IntegerSortApp
+    from repro.apps.shared.maxflow import MaxflowApp
+    from repro.apps.shared.nbody import NbodyApp
+
+    return {
+        "1d-fft": FFT1DApp,
+        "is": IntegerSortApp,
+        "cholesky": CholeskyApp,
+        "nbody": NbodyApp,
+        "maxflow": MaxflowApp,
+        "3d-fft": FFT3DApp,
+        "mg": MultigridApp,
+    }
+
+
+def create_app(name: str, **params):
+    """Instantiate application ``name`` with ``params`` overrides."""
+    factories = _factories()
+    factory = factories.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {sorted(factories)}"
+        )
+    return factory(**params)

@@ -1,0 +1,15 @@
+"""Shared-memory applications (dynamic strategy)."""
+
+from repro.apps.shared.cholesky import CholeskyApp
+from repro.apps.shared.fft1d import FFT1DApp
+from repro.apps.shared.is_sort import IntegerSortApp
+from repro.apps.shared.maxflow import MaxflowApp
+from repro.apps.shared.nbody import NbodyApp
+
+__all__ = [
+    "CholeskyApp",
+    "FFT1DApp",
+    "IntegerSortApp",
+    "MaxflowApp",
+    "NbodyApp",
+]

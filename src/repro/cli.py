@@ -1,0 +1,185 @@
+"""Command-line interface to the characterization methodology.
+
+Usage (via ``python -m repro``):
+
+.. code-block:: console
+
+    $ python -m repro apps
+    $ python -m repro characterize 1d-fft --param n=256 --mesh 4x2
+    $ python -m repro characterize mg --param n=32 --param cycles=2
+    $ python -m repro validate 1d-fft --messages 200
+    $ python -m repro sp2-model 1024
+
+``characterize`` runs the right strategy for the application (dynamic
+for shared memory, static for message passing), prints the
+three-attribute report, and can persist the network activity log as
+CSV for external analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS, create_app
+from repro.core import (
+    SyntheticTrafficGenerator,
+    characterize_message_passing,
+    characterize_shared_memory,
+    compare_logs,
+)
+from repro.core.report import spatial_table, temporal_table, volume_table
+from repro.mesh import MeshConfig
+from repro.mp.sp2 import SP2Config
+
+
+def _parse_params(entries: Sequence[str]) -> Dict[str, object]:
+    """Turn ``["n=256", "density=0.2"]`` into typed kwargs."""
+    params: Dict[str, object] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise ValueError(f"--param expects key=value, got {entry!r}")
+        key, raw = entry.split("=", 1)
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key] = value
+    return params
+
+
+def _parse_mesh(spec: str) -> MeshConfig:
+    """Turn ``"4x2"`` (optionally ``"4x2:torus"``) into a MeshConfig."""
+    topology = "mesh"
+    if ":" in spec:
+        spec, topology = spec.split(":", 1)
+    try:
+        width_text, height_text = spec.lower().split("x")
+        width, height = int(width_text), int(height_text)
+    except ValueError:
+        raise ValueError(f"--mesh expects WxH (e.g. 4x2), got {spec!r}") from None
+    vcs = 2 if topology == "torus" else 1
+    return MeshConfig(width=width, height=height, topology=topology, virtual_channels=vcs)
+
+
+def _run_characterization(name: str, params: Dict[str, object], mesh: MeshConfig):
+    app = create_app(name, **params)
+    if name in SHARED_MEMORY_APPS:
+        return characterize_shared_memory(app, mesh_config=mesh)
+    return characterize_message_passing(app, mesh_config=mesh)
+
+
+def cmd_apps(_: argparse.Namespace) -> int:
+    """List the application suite."""
+    print("shared memory (dynamic strategy):")
+    for name in SHARED_MEMORY_APPS:
+        print(f"  {name}")
+    print("message passing (static strategy):")
+    for name in MESSAGE_PASSING_APPS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Run one application through the methodology and report."""
+    params = _parse_params(args.param)
+    mesh = _parse_mesh(args.mesh)
+    run = _run_characterization(args.app, params, mesh)
+    characterization = run.characterization
+    print(characterization.describe())
+    print()
+    print(temporal_table([characterization]))
+    print()
+    print(spatial_table(characterization))
+    print()
+    print(volume_table(characterization))
+    if args.log_csv:
+        run.log.write_csv(args.log_csv)
+        print(f"\nactivity log written to {args.log_csv}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Characterize, synthesize, and compare against the original."""
+    params = _parse_params(args.param)
+    mesh = _parse_mesh(args.mesh)
+    run = _run_characterization(args.app, params, mesh)
+    generator = SyntheticTrafficGenerator(
+        run.characterization, mesh_config=mesh, seed=args.seed
+    )
+    synthetic = generator.generate(messages_per_source=args.messages)
+    report = compare_logs(run.log, synthetic)
+    print(report.describe())
+    print(f"acceptable: {report.acceptable()}")
+    return 0 if report.acceptable() else 1
+
+
+def cmd_sp2_model(args: argparse.Namespace) -> int:
+    """Print the SP2 software-overhead model at given sizes."""
+    sp2 = SP2Config()
+    print(f"{'bytes':>10} {'software (us)':>14} {'end-to-end (us)':>16}")
+    for nbytes in args.bytes:
+        print(
+            f"{nbytes:>10} {sp2.software_overhead(nbytes):>14.2f} "
+            f"{sp2.end_to_end(nbytes):>16.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication characterization methodology (HPCA'97 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the application suite").set_defaults(
+        handler=cmd_apps
+    )
+
+    characterize = sub.add_parser(
+        "characterize", help="characterize one application's communication"
+    )
+    characterize.add_argument("app", choices=SHARED_MEMORY_APPS + MESSAGE_PASSING_APPS)
+    characterize.add_argument(
+        "--param", action="append", default=[], help="application parameter key=value"
+    )
+    characterize.add_argument("--mesh", default="4x2", help="WxH[:topology] (default 4x2)")
+    characterize.add_argument("--log-csv", default=None, help="write the activity log here")
+    characterize.set_defaults(handler=cmd_characterize)
+
+    validate = sub.add_parser(
+        "validate", help="validate synthetic traffic against the original"
+    )
+    validate.add_argument("app", choices=SHARED_MEMORY_APPS + MESSAGE_PASSING_APPS)
+    validate.add_argument("--param", action="append", default=[])
+    validate.add_argument("--mesh", default="4x2")
+    validate.add_argument("--messages", type=int, default=150)
+    validate.add_argument("--seed", type=int, default=42)
+    validate.set_defaults(handler=cmd_validate)
+
+    sp2 = sub.add_parser("sp2-model", help="print the SP2 overhead model")
+    sp2.add_argument("bytes", nargs="+", type=int)
+    sp2.set_defaults(handler=cmd_sp2_model)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""CC-NUMA cache-coherence substrate (the dynamic strategy's machine).
+
+The paper's dynamic strategy executes shared-memory applications on
+SPASM simulating a CC-NUMA machine: "The simulated CC-NUMA machine for
+this study employs an invalidation-based cache coherence scheme with
+sequential consistency using a full-map directory."  This package
+builds that machine over the mesh simulator:
+
+* :class:`~repro.coherence.blocks.BlockMap` -- shared address space,
+  cache-block geometry and home-node interleaving.
+* :class:`~repro.coherence.cache.Cache` -- private set-associative
+  LRU caches with MSI states.
+* :class:`~repro.coherence.directory.Directory` -- full-map directory
+  entries at each block's home node.
+* :class:`~repro.coherence.protocol` -- coherence message vocabulary
+  and sizes (control vs cache-block data messages).
+* :class:`~repro.coherence.machine.CCNUMAMachine` -- the protocol
+  engine: LOAD/STORE transactions that traverse the mesh, invalidate
+  sharers, fetch from owners, and block the issuing processor until
+  globally performed (sequential consistency).
+"""
+
+from repro.coherence.blocks import BlockMap
+from repro.coherence.cache import Cache, CacheLine, CacheState
+from repro.coherence.config import CoherenceConfig
+from repro.coherence.directory import Directory, DirectoryEntry, DirectoryState
+from repro.coherence.machine import CCNUMAMachine
+from repro.coherence.protocol import CONTROL_KINDS, DATA_KINDS, MessageKind
+
+__all__ = [
+    "BlockMap",
+    "CCNUMAMachine",
+    "CONTROL_KINDS",
+    "Cache",
+    "CacheLine",
+    "CacheState",
+    "CoherenceConfig",
+    "DATA_KINDS",
+    "Directory",
+    "DirectoryEntry",
+    "DirectoryState",
+    "MessageKind",
+]

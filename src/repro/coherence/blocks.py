@@ -1,0 +1,60 @@
+"""Shared address space geometry: words, blocks and home nodes.
+
+Addresses are word-granular integers in a single flat shared space.
+Blocks (the coherence unit) are fixed runs of ``block_words`` words.
+The default home of block ``b`` is ``b % num_nodes`` (low-order
+interleaving), but allocations can override homes per block to model
+first-touch / chunked data placement -- the placement real CC-NUMA
+applications rely on and which shapes their spatial traffic patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class BlockMap:
+    """Maps word addresses to blocks and blocks to home nodes."""
+
+    def __init__(self, block_words: int, num_nodes: int) -> None:
+        if block_words < 1:
+            raise ValueError(f"block_words must be >= 1, got {block_words}")
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.block_words = block_words
+        self.num_nodes = num_nodes
+        self._home_override: Dict[int, int] = {}
+
+    def block_of(self, address: int) -> int:
+        """Block id containing word ``address``."""
+        if address < 0:
+            raise ValueError(f"address must be >= 0, got {address}")
+        return address // self.block_words
+
+    def set_home(self, block: int, node: int) -> None:
+        """Pin block ``block``'s home to ``node`` (placement policy)."""
+        if block < 0:
+            raise ValueError(f"block must be >= 0, got {block}")
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside machine with {self.num_nodes} nodes")
+        self._home_override[block] = node
+
+    def home_of(self, block: int) -> int:
+        """Home node of block ``block`` (override, else interleaving)."""
+        if block < 0:
+            raise ValueError(f"block must be >= 0, got {block}")
+        override = self._home_override.get(block)
+        if override is not None:
+            return override
+        return block % self.num_nodes
+
+    def home_of_address(self, address: int) -> int:
+        """Home node of the block containing ``address``."""
+        return self.home_of(self.block_of(address))
+
+    def block_range(self, block: int) -> Tuple[int, int]:
+        """Half-open word-address range ``[start, end)`` of a block."""
+        if block < 0:
+            raise ValueError(f"block must be >= 0, got {block}")
+        start = block * self.block_words
+        return start, start + self.block_words

@@ -1,0 +1,97 @@
+"""Timing and geometry parameters of the simulated CC-NUMA machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoherenceConfig:
+    """Parameters of the CC-NUMA node and protocol.
+
+    Times are in processor cycles (the dynamic strategy's time unit).
+
+    Attributes
+    ----------
+    protocol:
+        ``"invalidate"`` (the paper's machine: invalidation-based
+        full-map directory) or ``"update"`` (write-update variant:
+        stores multicast the written word to sharers instead of
+        invalidating -- the classic protocol ablation).
+    consistency:
+        ``"sequential"`` (the paper's machine: every access blocks until
+        globally performed) or ``"release"`` (store-buffer variant:
+        stores retire into a write buffer and complete in the
+        background; synchronization operations fence).  Correct for the
+        data-race-free applications in this suite.
+    block_words:
+        Words per cache block (coherence unit).
+    word_bytes:
+        Bytes per word; ``block_words * word_bytes`` is the data-message
+        payload.
+    control_bytes:
+        Payload of protocol control messages (requests, invalidations,
+        acks) -- the small mode of the bimodal message-length mix.
+    cache_lines:
+        Total lines in each private cache.
+    associativity:
+        Ways per cache set.
+    cache_hit_time:
+        Cycles for a hit in the private cache.
+    directory_time:
+        Cycles for a directory lookup/update at the home node.
+    memory_time:
+        Cycles for the home memory to read or write a block.
+    local_time:
+        Cycles for a node to access its own home memory without using
+        the network (local miss service).
+    """
+
+    protocol: str = "invalidate"
+    consistency: str = "sequential"
+    block_words: int = 8
+    word_bytes: int = 4
+    control_bytes: int = 8
+    cache_lines: int = 256
+    associativity: int = 4
+    cache_hit_time: float = 1.0
+    directory_time: float = 2.0
+    memory_time: float = 10.0
+    local_time: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("invalidate", "update"):
+            raise ValueError(
+                f"protocol must be 'invalidate' or 'update', got {self.protocol!r}"
+            )
+        if self.consistency not in ("sequential", "release"):
+            raise ValueError(
+                f"consistency must be 'sequential' or 'release', got {self.consistency!r}"
+            )
+        if self.block_words < 1:
+            raise ValueError(f"block_words must be >= 1, got {self.block_words}")
+        if self.word_bytes < 1:
+            raise ValueError(f"word_bytes must be >= 1, got {self.word_bytes}")
+        if self.control_bytes < 1:
+            raise ValueError(f"control_bytes must be >= 1, got {self.control_bytes}")
+        if self.cache_lines < 1:
+            raise ValueError(f"cache_lines must be >= 1, got {self.cache_lines}")
+        if self.associativity < 1 or self.associativity > self.cache_lines:
+            raise ValueError(
+                f"associativity must be in [1, cache_lines], got {self.associativity}"
+            )
+        if self.cache_lines % self.associativity != 0:
+            raise ValueError("cache_lines must be a multiple of associativity")
+        for name in ("cache_hit_time", "directory_time", "memory_time", "local_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def block_bytes(self) -> int:
+        """Payload bytes of a data (cache-block) message."""
+        return self.block_words * self.word_bytes
+
+    @property
+    def cache_sets(self) -> int:
+        """Number of sets in each private cache."""
+        return self.cache_lines // self.associativity

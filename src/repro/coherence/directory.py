@@ -1,0 +1,100 @@
+"""Full-map directory state kept at each block's home node."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+class DirectoryState(enum.Enum):
+    """Directory-visible state of a block."""
+
+    UNCACHED = "uncached"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class DirectoryEntry:
+    """Full-map entry: state plus the exact sharer set / owner."""
+
+    state: DirectoryState = DirectoryState.UNCACHED
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    def validate(self) -> None:
+        """Internal-consistency check (used by tests and asserts)."""
+        if self.state is DirectoryState.UNCACHED:
+            assert not self.sharers and self.owner is None
+        elif self.state is DirectoryState.SHARED:
+            assert self.sharers and self.owner is None
+        else:
+            assert self.owner is not None and not self.sharers
+
+
+class Directory:
+    """All directory entries homed at one node (created on demand)."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """The (possibly fresh) entry for ``block``."""
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[block] = ent
+        return ent
+
+    def tracked_blocks(self) -> int:
+        """Number of blocks with directory state at this node."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # state transitions (called by the protocol engine)
+    # ------------------------------------------------------------------
+    def record_reader(self, block: int, reader: int) -> None:
+        """Add ``reader`` as a sharer (block must not be EXCLUSIVE)."""
+        ent = self.entry(block)
+        if ent.state is DirectoryState.EXCLUSIVE:
+            raise ValueError(
+                f"cannot add reader to EXCLUSIVE block {block} at node {self.node}"
+            )
+        ent.sharers.add(reader)
+        ent.state = DirectoryState.SHARED
+        ent.owner = None
+
+    def record_owner(self, block: int, owner: int) -> None:
+        """Make ``owner`` the exclusive owner (sharers must be empty)."""
+        ent = self.entry(block)
+        if ent.sharers:
+            raise ValueError(
+                f"cannot grant EXCLUSIVE on block {block} with live sharers {ent.sharers}"
+            )
+        ent.state = DirectoryState.EXCLUSIVE
+        ent.owner = owner
+
+    def clear_sharers(self, block: int) -> Set[int]:
+        """Remove and return all sharers (after invalidation round)."""
+        ent = self.entry(block)
+        sharers, ent.sharers = ent.sharers, set()
+        if ent.state is DirectoryState.SHARED:
+            ent.state = DirectoryState.UNCACHED
+        return sharers
+
+    def clear_owner(self, block: int) -> Optional[int]:
+        """Remove and return the owner (after a recall)."""
+        ent = self.entry(block)
+        owner, ent.owner = ent.owner, None
+        if ent.state is DirectoryState.EXCLUSIVE:
+            ent.state = DirectoryState.UNCACHED
+        return owner
+
+    def drop_sharer(self, block: int, node: int) -> None:
+        """Remove one sharer (e.g. after a replacement notification)."""
+        ent = self.entry(block)
+        ent.sharers.discard(node)
+        if not ent.sharers and ent.state is DirectoryState.SHARED:
+            ent.state = DirectoryState.UNCACHED

@@ -1,0 +1,59 @@
+"""Coherence protocol message vocabulary.
+
+The invalidation-based full-map protocol exchanges two size classes of
+messages -- small control messages and cache-block data messages --
+which is what gives shared-memory applications their characteristic
+bimodal message-length distribution.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class MessageKind(str, enum.Enum):
+    """Every message type the protocol (and sync layer) can emit."""
+
+    # Requestor -> home
+    READ_REQ = "rd_req"
+    WRITE_REQ = "wr_req"
+    UPGRADE_REQ = "upgrade_req"
+    WRITEBACK = "writeback"
+    # Home -> requestor
+    DATA_REPLY = "data_reply"
+    UPGRADE_ACK = "upgrade_ack"
+    # Home -> third parties and back
+    INVALIDATE = "inv"
+    INV_ACK = "inv_ack"
+    FETCH = "fetch"
+    FETCH_REPLY = "fetch_reply"
+    # Write-update protocol variant
+    UPDATE_REQ = "update_req"
+    UPDATE = "update"
+    UPDATE_ACK = "update_ack"
+    UPDATE_DONE = "update_done"
+    # Synchronization layer
+    LOCK_REQ = "lock_req"
+    LOCK_GRANT = "lock_grant"
+    LOCK_RELEASE = "lock_release"
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_RELEASE = "barrier_release"
+
+
+#: Message kinds that carry a full cache block of data.
+DATA_KINDS: FrozenSet[MessageKind] = frozenset(
+    {
+        MessageKind.DATA_REPLY,
+        MessageKind.WRITEBACK,
+        MessageKind.FETCH_REPLY,
+    }
+)
+
+#: Message kinds that carry only protocol control information.
+CONTROL_KINDS: FrozenSet[MessageKind] = frozenset(MessageKind) - DATA_KINDS
+
+
+def payload_bytes(kind: MessageKind, control_bytes: int, block_bytes: int) -> int:
+    """Payload size of a message of ``kind``."""
+    return block_bytes if kind in DATA_KINDS else control_bytes

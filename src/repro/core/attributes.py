@@ -1,0 +1,159 @@
+"""Result types of the three-attribute characterization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.stats.fitting import FitResult
+from repro.stats.spatial_models import SpatialFit
+
+
+@dataclass(frozen=True)
+class TemporalCharacterization:
+    """The temporal attribute: message generation behaviour.
+
+    Attributes
+    ----------
+    fit:
+        Best-fitting inter-arrival distribution (aggregate over the
+        network, as the paper's tables report).
+    mean_interarrival:
+        Sample mean of the inter-arrival times.
+    rate:
+        Message generation rate (1 / mean inter-arrival).
+    cv:
+        Sample coefficient of variation (burstiness indicator).
+    sample_size:
+        Number of inter-arrival observations.
+    per_source_fits:
+        Optional per-processor fits ("the distribution functions for
+        each processor can be used to generate the messages accurately;
+        on the other hand, a simple averaging ... can be done to define
+        a single expression").
+    per_source_means:
+        Sample mean inter-arrival per processor (populated alongside
+        ``per_source_fits``); the synthetic generator rescales each
+        fitted shape to its processor's measured rate.
+    """
+
+    fit: FitResult
+    mean_interarrival: float
+    rate: float
+    cv: float
+    sample_size: int
+    per_source_fits: Dict[int, FitResult] = field(default_factory=dict)
+    per_source_means: Dict[int, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line table row: family, parameters, fit quality."""
+        return (
+            f"{self.fit.describe()}  mean={self.mean_interarrival:.2f} "
+            f"rate={self.rate:.5f} cv={self.cv:.2f} n={self.sample_size}"
+        )
+
+
+@dataclass(frozen=True)
+class SpatialCharacterization:
+    """The spatial attribute: where messages go.
+
+    Attributes
+    ----------
+    per_source:
+        Winning pattern per source processor.
+    fraction_matrix:
+        ``matrix[src][dst]`` = fraction of src's messages to dst (the
+        paper's per-processor bar charts).
+    dominant_pattern:
+        Majority pattern name across sources.
+    """
+
+    per_source: Dict[int, SpatialFit]
+    fraction_matrix: np.ndarray
+    dominant_pattern: str
+
+    def favorite_of(self, src: int) -> Optional[int]:
+        """The favorite destination of ``src`` if its pattern is
+        bimodal-uniform, else None."""
+        fit = self.per_source.get(src)
+        if fit is not None and fit.name == "bimodal-uniform":
+            return fit.pattern.favorite
+        return None
+
+    def describe(self) -> str:
+        """Per-source one-liners plus the dominant pattern."""
+        lines = [f"dominant: {self.dominant_pattern}"]
+        for src in sorted(self.per_source):
+            lines.append(f"  p{src}: {self.per_source[src].describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VolumeCharacterization:
+    """The volume attribute: how much is sent.
+
+    Attributes
+    ----------
+    message_count:
+        Total messages in the log.
+    total_bytes:
+        Total payload volume.
+    mean_length:
+        Mean message length (bytes).
+    length_fractions:
+        Discrete message-length distribution: distinct size -> fraction
+        of messages (protocol traffic is inherently multi-modal --
+        control vs cache-block vs bulk data sizes).
+    volume_matrix:
+        ``matrix[src][dst]`` = fraction of src's *bytes* sent to dst
+        (the paper's "Message Volume Distribution" plots).
+    per_source_messages:
+        Message count per source.
+    """
+
+    message_count: int
+    total_bytes: int
+    mean_length: float
+    length_fractions: Dict[int, float]
+    volume_matrix: np.ndarray
+    per_source_messages: Dict[int, int]
+
+    def modal_lengths(self, top: int = 3) -> Dict[int, float]:
+        """The ``top`` most common message sizes and their fractions."""
+        ranked = sorted(self.length_fractions.items(), key=lambda kv: -kv[1])
+        return dict(ranked[:top])
+
+    def describe(self) -> str:
+        """One-line summary with the dominant size modes."""
+        modes = ", ".join(
+            f"{size}B:{frac:.0%}" for size, frac in self.modal_lengths().items()
+        )
+        return (
+            f"{self.message_count} msgs, {self.total_bytes} bytes, "
+            f"mean {self.mean_length:.1f}B, modes [{modes}]"
+        )
+
+
+@dataclass(frozen=True)
+class CommunicationCharacterization:
+    """The full three-attribute characterization of one application run."""
+
+    app_name: str
+    strategy: str
+    num_nodes: int
+    temporal: TemporalCharacterization
+    spatial: SpatialCharacterization
+    volume: VolumeCharacterization
+
+    def describe(self) -> str:
+        """Multi-line report mirroring the paper's per-application text."""
+        return "\n".join(
+            [
+                f"=== {self.app_name} ({self.strategy}, {self.num_nodes} nodes) ===",
+                f"temporal: {self.temporal.describe()}",
+                f"spatial:  {self.spatial.describe()}",
+                f"volume:   {self.volume.describe()}",
+            ]
+        )

@@ -1,0 +1,121 @@
+"""End-to-end characterization pipelines (the two strategies).
+
+Dynamic strategy (shared memory)::
+
+    app -> execution-driven CC-NUMA simulation -> network activity log
+        -> temporal/spatial/volume analysis -> characterization
+
+Static strategy (message passing)::
+
+    app -> simulated SP2 run -> application-level trace
+        -> dependency-preserving replay into the mesh -> activity log
+        -> temporal/spatial/volume analysis -> characterization
+
+Both strategies drive the *same* 2-D mesh simulator, as the paper
+stresses ("for both application categories, we intentionally use the
+same 2-D network topology and log the network events").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import MessagePassingApplication, SharedMemoryApplication
+from repro.coherence.config import CoherenceConfig
+from repro.core.attributes import CommunicationCharacterization
+from repro.core.spatial import analyze_spatial
+from repro.core.temporal import analyze_temporal
+from repro.core.volume import analyze_volume
+from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetworkLog
+from repro.mesh.network import MeshNetwork
+from repro.mp.sp2 import SP2Config
+from repro.simkernel import Simulator
+from repro.trace.log import TraceLog
+from repro.trace.replay import replay_trace
+
+
+@dataclass(frozen=True)
+class CharacterizationRun:
+    """Everything one pipeline run produces.
+
+    Attributes
+    ----------
+    characterization:
+        The fitted three-attribute model.
+    log:
+        The network activity log it was derived from.
+    trace:
+        The application-level trace (static strategy only).
+    """
+
+    characterization: CommunicationCharacterization
+    log: NetworkLog
+    trace: Optional[TraceLog] = None
+
+
+def characterize_log(
+    log: NetworkLog,
+    mesh_config: MeshConfig,
+    app_name: str = "workload",
+    strategy: str = "log",
+    per_source_temporal: bool = False,
+) -> CommunicationCharacterization:
+    """Analyze an existing network activity log into the three attributes."""
+    return CommunicationCharacterization(
+        app_name=app_name,
+        strategy=strategy,
+        num_nodes=mesh_config.num_nodes,
+        temporal=analyze_temporal(log, per_source=per_source_temporal),
+        spatial=analyze_spatial(log, mesh_config.width, mesh_config.height),
+        volume=analyze_volume(log, mesh_config.num_nodes),
+    )
+
+
+def characterize_shared_memory(
+    app: SharedMemoryApplication,
+    mesh_config: Optional[MeshConfig] = None,
+    coherence_config: Optional[CoherenceConfig] = None,
+    per_source_temporal: bool = False,
+) -> CharacterizationRun:
+    """Run the dynamic strategy on a shared-memory application."""
+    mesh_config = mesh_config or MeshConfig()
+    sim = app.run(mesh_config=mesh_config, coherence_config=coherence_config)
+    characterization = characterize_log(
+        sim.log,
+        mesh_config,
+        app_name=app.name,
+        strategy="dynamic",
+        per_source_temporal=per_source_temporal,
+    )
+    return CharacterizationRun(characterization=characterization, log=sim.log)
+
+
+def characterize_message_passing(
+    app: MessagePassingApplication,
+    mesh_config: Optional[MeshConfig] = None,
+    sp2: Optional[SP2Config] = None,
+    replay_mode: str = "dependency",
+    time_scale: float = 1.0,
+    per_source_temporal: bool = False,
+) -> CharacterizationRun:
+    """Run the static strategy on a message-passing application.
+
+    The rank count equals the mesh's node count (each SP2 rank maps
+    onto one mesh node for the replay).
+    """
+    mesh_config = mesh_config or MeshConfig()
+    runtime = app.run(num_ranks=mesh_config.num_nodes, sp2=sp2)
+    network = MeshNetwork(Simulator(), mesh_config)
+    log = replay_trace(runtime.trace, network, mode=replay_mode, time_scale=time_scale)
+    characterization = characterize_log(
+        log,
+        mesh_config,
+        app_name=app.name,
+        strategy="static",
+        per_source_temporal=per_source_temporal,
+    )
+    return CharacterizationRun(
+        characterization=characterization, log=log, trace=runtime.trace
+    )

@@ -1,0 +1,145 @@
+"""Phase-level characterization (time-varying communication structure).
+
+The paper describes its applications in *phases* ("there are three main
+phases in the execution.  In the first and last phase ... an entirely
+local operation") but characterizes whole executions.  This extension
+segments the network activity log at large injection lulls (phase
+boundaries -- barriers leave the network silent) and characterizes each
+segment separately, recovering structure the aggregate blends away:
+1D-FFT's aggregate butterfly decomposes into per-stage single-partner
+exchanges at XOR distances 1, 2, 4 with message-free local stages
+around them (experiment E17).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mesh.netlog import NetLogRecord, NetworkLog
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One contiguous communication phase of an execution.
+
+    Attributes
+    ----------
+    index:
+        Position in the execution (0-based).
+    start_time, end_time:
+        Injection times of the segment's first and last message.
+    log:
+        The segment's slice of the activity log.
+    """
+
+    index: int
+    start_time: float
+    end_time: float
+    log: NetworkLog
+
+    @property
+    def message_count(self) -> int:
+        """Messages injected during this phase."""
+        return len(self.log)
+
+    @property
+    def duration(self) -> float:
+        """Injection span of the phase."""
+        return self.end_time - self.start_time
+
+    def kind_counts(self) -> Counter:
+        """Message count per kind tag."""
+        return Counter(r.kind for r in self.log)
+
+    def data_records(self) -> List[NetLogRecord]:
+        """Records excluding synchronization traffic (locks/barriers)."""
+        sync_kinds = {
+            "lock_req", "lock_grant", "lock_release",
+            "barrier_arrive", "barrier_release",
+        }
+        return [r for r in self.log if r.kind not in sync_kinds]
+
+    def modal_xor_distance(self) -> Optional[int]:
+        """The dominant ``src XOR dst`` of the phase's data traffic.
+
+        For butterfly-structured phases this is the stage's partner
+        distance; None when the phase moved no data messages.
+        """
+        data = self.data_records()
+        if not data:
+            return None
+        counts = Counter(r.src ^ r.dst for r in data)
+        return counts.most_common(1)[0][0]
+
+
+def segment_phases(
+    log: NetworkLog,
+    gap_factor: float = 3.0,
+    threshold: Optional[float] = None,
+) -> List[PhaseSegment]:
+    """Split ``log`` into phases at injection lulls.
+
+    Parameters
+    ----------
+    log:
+        The activity log to segment (injection order is used).
+    gap_factor:
+        A gap longer than ``gap_factor * mean_gap`` starts a new phase.
+    threshold:
+        Absolute gap threshold; overrides ``gap_factor`` when given.
+    """
+    if len(log) == 0:
+        raise ValueError("cannot segment an empty log")
+    if gap_factor <= 0:
+        raise ValueError(f"gap_factor must be > 0, got {gap_factor}")
+    records = sorted(log.records, key=lambda r: r.inject_time)
+    if threshold is None:
+        gaps = np.diff([r.inject_time for r in records])
+        if gaps.size == 0:
+            threshold = float("inf")
+        else:
+            threshold = gap_factor * float(np.mean(gaps))
+
+    groups: List[List[NetLogRecord]] = [[records[0]]]
+    for previous, current in zip(records, records[1:]):
+        if current.inject_time - previous.inject_time > threshold:
+            groups.append([])
+        groups[-1].append(current)
+
+    segments = []
+    for index, group in enumerate(groups):
+        segment_log = NetworkLog()
+        segment_log.extend(group)
+        segments.append(
+            PhaseSegment(
+                index=index,
+                start_time=group[0].inject_time,
+                end_time=group[-1].inject_time,
+                log=segment_log,
+            )
+        )
+    return segments
+
+
+def phase_table(segments: List[PhaseSegment]) -> str:
+    """Text table of the phase structure (one row per phase)."""
+    header = (
+        f"{'phase':>5} {'start':>10} {'msgs':>6} {'data':>6} "
+        f"{'xor':>5}  kinds"
+    )
+    lines = [header, "-" * len(header)]
+    for segment in segments:
+        xor = segment.modal_xor_distance()
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(segment.kind_counts().items())
+        )
+        lines.append(
+            f"{segment.index:>5} {segment.start_time:>10.0f} "
+            f"{segment.message_count:>6} {len(segment.data_records()):>6} "
+            f"{xor if xor is not None else '-':>5}  {kinds}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Execution-driven simulation front end (the SPASM substitute).
+
+SPASM executes most application code natively and traps only the
+"interesting" instructions -- shared LOADs/STOREs and synchronization
+-- into the simulator, with the network's simulated time fed back into
+the application's clock.  This package provides the same contract for
+applications written in Python:
+
+* :class:`~repro.exec_driven.thread_api.SharedArray` /
+  :class:`~repro.exec_driven.thread_api.ThreadContext` -- the API
+  application threads program against (``yield from ctx.load(...)``).
+* :mod:`~repro.exec_driven.sync` -- message-generating spin-free locks
+  and barriers homed on specific nodes.
+* :class:`~repro.exec_driven.runtime.ExecutionDrivenSimulation` -- the
+  harness wiring threads, machine and mesh together.
+"""
+
+from repro.exec_driven.runtime import ExecutionDrivenSimulation
+from repro.exec_driven.sync import SyncBarrier, SyncLock
+from repro.exec_driven.thread_api import SharedArray, ThreadContext
+
+__all__ = [
+    "ExecutionDrivenSimulation",
+    "SharedArray",
+    "SyncBarrier",
+    "SyncLock",
+    "ThreadContext",
+]

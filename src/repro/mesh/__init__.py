@@ -1,0 +1,67 @@
+"""2-D mesh, wormhole-routed interconnection network simulator.
+
+This package reproduces the paper's network simulator: a process
+oriented simulator of a 2-D mesh with wormhole routing, written against
+the CSIM-like kernel in :mod:`repro.simkernel`.  "Inputs to the
+simulator are messages defined by their source, destination, length and
+time since the last network activity at the source.  The output is the
+network latency and contention incurred by the message and overall
+utilization of the different network resources."
+
+Public surface:
+
+* :class:`~repro.mesh.config.MeshConfig` -- geometry and timing knobs.
+* :class:`~repro.mesh.topology.MeshTopology` -- node/coordinate algebra.
+* :func:`~repro.mesh.routing.xy_route` -- dimension-order routing.
+* :class:`~repro.mesh.packet.NetworkMessage` -- a message in flight.
+* :class:`~repro.mesh.network.MeshNetwork` -- the simulator proper.
+* :class:`~repro.mesh.netlog.NetworkLog` -- the activity log analyzed by
+  the statistics package.
+"""
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetLogRecord, NetworkLog
+from repro.mesh.network import MeshNetwork
+from repro.mesh.packet import NetworkMessage
+from repro.mesh.patterns import (
+    BitComplementTraffic,
+    BitReversalTraffic,
+    HotspotTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+    drive_pattern,
+    make_pattern,
+)
+from repro.mesh.routing import xy_route
+from repro.mesh.topology import (
+    Hop,
+    HypercubeTopology,
+    MeshTopology,
+    Topology,
+    TorusTopology,
+    make_topology,
+)
+
+__all__ = [
+    "BitComplementTraffic",
+    "BitReversalTraffic",
+    "Hop",
+    "HotspotTraffic",
+    "HypercubeTopology",
+    "MeshConfig",
+    "MeshNetwork",
+    "MeshTopology",
+    "NetLogRecord",
+    "NetworkLog",
+    "NetworkMessage",
+    "Topology",
+    "TorusTopology",
+    "TrafficPattern",
+    "TransposeTraffic",
+    "UniformTraffic",
+    "drive_pattern",
+    "make_pattern",
+    "make_topology",
+    "xy_route",
+]

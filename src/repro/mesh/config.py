@@ -1,0 +1,125 @@
+"""Configuration of the 2-D mesh network simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Geometry and timing parameters of the simulated mesh.
+
+    Times are in the simulator's abstract time unit; the paper's
+    experiments use processor cycles for the dynamic strategy and
+    microseconds for the static strategy -- either works as long as
+    message timestamps use the same unit.
+
+    Attributes
+    ----------
+    width, height:
+        Network dimensions; ``width * height`` nodes.
+    topology:
+        ``"mesh"`` (the paper's network), ``"torus"`` or ``"hypercube"``
+        (extensions; hypercube needs a power-of-two node count).
+    virtual_channels:
+        Virtual channels multiplexed on each physical channel.  The
+        torus' dateline routing needs at least 2.  Modeled as
+        independent lanes at full channel bandwidth each -- an
+        optimistic approximation that captures the head-of-line
+        -blocking relief VCs provide (see DESIGN.md ablations).
+    routing:
+        ``"deterministic"`` (XY / shortest-ring / e-cube per topology)
+        or ``"adaptive"`` (mesh only, needs 2 virtual channels): the
+        head flit picks XY or YX per message based on which first
+        channel is free; each order rides its own VC class, so both
+        sub-networks stay deadlock-free.
+    flit_bytes:
+        Payload bytes carried per flit (channel word).
+    header_flits:
+        Flits of header prepended to every message.
+    channel_time:
+        Time for one flit to cross one physical channel.
+    routing_time:
+        Per-hop routing/arbitration delay incurred by the head flit.
+    injection_time:
+        Source-side network-interface overhead per message (the time to
+        move the head flit from the NI into the router).
+    ejection_time:
+        Destination-side NI overhead per message.
+    """
+
+    width: int = 4
+    height: int = 2
+    topology: str = "mesh"
+    virtual_channels: int = 1
+    routing: str = "deterministic"
+    flit_bytes: int = 8
+    header_flits: int = 1
+    channel_time: float = 1.0
+    routing_time: float = 1.0
+    injection_time: float = 1.0
+    ejection_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {self.width}x{self.height}")
+        # Validates the name and (for hypercube) the node count, and
+        # lets the routing discipline demand virtual channels.
+        topology = self.make_topology()
+        if self.virtual_channels < topology.required_vclasses:
+            raise ValueError(
+                f"{self.topology} routing needs >= {topology.required_vclasses} "
+                f"virtual channels, got {self.virtual_channels}"
+            )
+        if self.routing not in ("deterministic", "adaptive"):
+            raise ValueError(
+                f"routing must be 'deterministic' or 'adaptive', got {self.routing!r}"
+            )
+        if self.routing == "adaptive":
+            if self.topology != "mesh":
+                raise ValueError("adaptive routing is only supported on the mesh")
+            if self.virtual_channels < 2:
+                raise ValueError(
+                    "adaptive routing needs >= 2 virtual channels "
+                    "(one class per dimension order)"
+                )
+        if self.flit_bytes < 1:
+            raise ValueError(f"flit_bytes must be >= 1, got {self.flit_bytes}")
+        if self.header_flits < 0:
+            raise ValueError(f"header_flits must be >= 0, got {self.header_flits}")
+        for field_name in ("channel_time", "routing_time", "injection_time", "ejection_time"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count of the network."""
+        return self.width * self.height
+
+    def make_topology(self):
+        """Instantiate the configured :class:`~repro.mesh.topology.Topology`."""
+        from repro.mesh.topology import make_topology
+
+        return make_topology(self.topology, self.width, self.height)
+
+    def flits_for(self, length_bytes: int) -> int:
+        """Number of flits (header + payload) for a message of
+        ``length_bytes`` payload bytes."""
+        if length_bytes < 0:
+            raise ValueError(f"message length must be >= 0, got {length_bytes}")
+        payload_flits = -(-length_bytes // self.flit_bytes)  # ceil div
+        return max(1, self.header_flits + payload_flits)
+
+    def zero_load_latency(self, hops: int, length_bytes: int) -> float:
+        """Contention-free wormhole latency for a message.
+
+        ``hops * (routing + channel)`` for the head flit plus one
+        channel time per remaining flit (pipelined body), plus NI
+        injection/ejection overheads.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        flits = self.flits_for(length_bytes)
+        head = hops * (self.routing_time + self.channel_time)
+        body = (flits - 1) * self.channel_time
+        return self.injection_time + head + body + self.ejection_time

@@ -1,0 +1,250 @@
+"""The 2-D mesh wormhole network simulator.
+
+Every physical channel (plus each node's injection and ejection port)
+is a single-server :class:`~repro.simkernel.facility.Facility`.  A
+message transfer is a simulated process that walks the XY route as a
+*pipelined circuit*: the head flit acquires channels hop by hop, the
+body streams once the head reaches the destination, and the whole path
+is released when the tail drains.  Time spent blocked on channel
+acquisition is accumulated as the message's *contention*, exactly the
+quantity the paper's simulator reports alongside latency and resource
+utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetLogRecord, NetworkLog
+from repro.mesh.packet import NetworkMessage
+from repro.simkernel import Facility, Mailbox, SimEvent, Simulator, hold, release, request
+
+DeliveryHandler = Callable[[NetworkMessage, NetLogRecord], None]
+
+
+class MeshNetwork:
+    """Process-oriented simulator of a wormhole-routed 2-D mesh.
+
+    Parameters
+    ----------
+    simulator:
+        The simulation kernel to run on.
+    config:
+        Mesh geometry and timing (see :class:`MeshConfig`).
+
+    Messages enter through :meth:`inject` (fire-and-forget, returns a
+    completion :class:`SimEvent`) or :meth:`transfer` (a sub-generator
+    for blocking sends: ``record = yield from net.transfer(msg)``).
+    Deliveries append to :attr:`log`, fire any handler registered for
+    the destination node, and are deposited in the destination's
+    delivery mailbox if one has been requested.
+    """
+
+    def __init__(self, simulator: Simulator, config: MeshConfig) -> None:
+        self.simulator = simulator
+        self.config = config
+        self.topology = config.make_topology()
+        self.log = NetworkLog()
+        # One facility per (physical channel, virtual-channel lane).
+        self._channels: Dict[Tuple[int, int, int], Facility] = {
+            (u, v, lane): Facility(simulator, name=f"ch[{u}->{v}#{lane}]")
+            for u, v in self.topology.channels()
+            for lane in range(config.virtual_channels)
+        }
+        self._injection = [
+            Facility(simulator, name=f"inj[{n}]") for n in range(config.num_nodes)
+        ]
+        self._ejection = [
+            Facility(simulator, name=f"ej[{n}]") for n in range(config.num_nodes)
+        ]
+        self._handlers: Dict[int, List[DeliveryHandler]] = {}
+        self._mailboxes: Dict[int, Mailbox] = {}
+        self._in_flight = 0
+        self.total_injected = 0
+        self.total_delivered = 0
+        self.adaptive_yx_taken = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_handler(self, node: int, handler: DeliveryHandler) -> None:
+        """Invoke ``handler(message, record)`` on every delivery at ``node``."""
+        self._check_node(node)
+        self._handlers.setdefault(node, []).append(handler)
+
+    def delivery_mailbox(self, node: int) -> Mailbox:
+        """Mailbox receiving ``(message, record)`` tuples delivered to
+        ``node`` (created lazily)."""
+        self._check_node(node)
+        box = self._mailboxes.get(node)
+        if box is None:
+            box = Mailbox(self.simulator, name=f"deliver[{node}]")
+            self._mailboxes[node] = box
+        return box
+
+    def channel(self, u: int, v: int, lane: int = 0) -> Facility:
+        """The facility modeling lane ``lane`` of channel ``u -> v``."""
+        try:
+            return self._channels[(u, v, lane)]
+        except KeyError:
+            raise ValueError(f"no channel {u}->{v} lane {lane} in this network") from None
+
+    # ------------------------------------------------------------------
+    # injection APIs
+    # ------------------------------------------------------------------
+    def inject(self, message: NetworkMessage) -> SimEvent:
+        """Start a transfer now; returns an event set at delivery.
+
+        Callable from process or non-process code; the transfer runs as
+        its own simulated process.  Endpoints are validated eagerly so
+        a bad message fails at the call site, not inside the event loop.
+        """
+        self._check_node(message.src)
+        self._check_node(message.dst)
+        done = SimEvent(self.simulator, name=f"done#{message.msg_id}")
+
+        def runner():
+            record = yield from self.transfer(message)
+            done.set(record)
+
+        self.simulator.process(runner(), name=f"xfer#{message.msg_id}")
+        return done
+
+    def transfer(self, message: NetworkMessage):
+        """Sub-generator performing one wormhole transfer.
+
+        Use from model code as ``record = yield from net.transfer(msg)``;
+        the caller blocks until the tail flit is delivered and receives
+        the :class:`NetLogRecord`.
+        """
+        cfg = self.config
+        self._check_node(message.src)
+        self._check_node(message.dst)
+        self._in_flight += 1
+        self.total_injected += 1
+        inject_time = self.simulator.now
+        contention = 0.0
+        path = self._select_route(message)
+        acquired: List[Facility] = []
+
+        # Source NI: serializes messages leaving the same node.
+        inj = self._injection[message.src]
+        t0 = self.simulator.now
+        yield request(inj)
+        contention += self.simulator.now - t0
+        acquired.append(inj)
+        start_time = self.simulator.now
+        yield hold(cfg.injection_time)
+
+        # Head flit walks the selected route, seizing each channel
+        # lane in order.  Hops that pin a virtual-channel class (the
+        # torus dateline, adaptive dimension orders) get it; free hops
+        # spread over lanes.
+        free_lane = message.msg_id % cfg.virtual_channels
+        for hop in path:
+            lane = hop.vclass if hop.vclass is not None else free_lane
+            channel = self._channels[(hop.src, hop.dst, lane)]
+            t0 = self.simulator.now
+            yield request(channel)
+            contention += self.simulator.now - t0
+            acquired.append(channel)
+            yield hold(cfg.routing_time + cfg.channel_time)
+
+        # Destination NI.
+        ej = self._ejection[message.dst]
+        t0 = self.simulator.now
+        yield request(ej)
+        contention += self.simulator.now - t0
+        acquired.append(ej)
+        yield hold(cfg.ejection_time)
+
+        # Body flits stream over the held path (pipelined circuit).
+        flits = cfg.flits_for(message.length_bytes)
+        if flits > 1:
+            yield hold((flits - 1) * cfg.channel_time)
+
+        for facility in acquired:
+            yield release(facility)
+
+        record = NetLogRecord(
+            msg_id=message.msg_id,
+            src=message.src,
+            dst=message.dst,
+            length_bytes=message.length_bytes,
+            kind=message.kind,
+            inject_time=inject_time,
+            start_time=start_time,
+            deliver_time=self.simulator.now,
+            contention=contention,
+            hops=len(path),
+        )
+        self.log.add(record)
+        self._in_flight -= 1
+        self.total_delivered += 1
+        self._deliver(message, record)
+        return record
+
+    def _select_route(self, message: NetworkMessage):
+        """Pick the message's route (and pinned lanes).
+
+        Deterministic mode delegates to the topology.  Adaptive mode
+        (mesh) compares the XY and YX dimension orders and takes YX --
+        on its dedicated VC class 1 -- when XY's first channel is busy
+        and YX's is free; XY rides class 0.
+        """
+        from repro.mesh.topology import Hop
+
+        if self.config.routing != "adaptive":
+            return self.topology.route(message.src, message.dst)
+        xy = self.topology.route(message.src, message.dst)
+        yx = self.topology.route_yx(message.src, message.dst)
+        chosen, lane = xy, 0
+        if xy and yx and (xy[0].src, xy[0].dst) != (yx[0].src, yx[0].dst):
+            xy_first = self._channels[(xy[0].src, xy[0].dst, 0)]
+            yx_first = self._channels[(yx[0].src, yx[0].dst, 1)]
+            if not xy_first.is_free and yx_first.is_free:
+                chosen, lane = yx, 1
+                self.adaptive_yx_taken += 1
+        return [Hop(h.src, h.dst, lane) for h in chosen]
+
+    # ------------------------------------------------------------------
+    # delivery + stats
+    # ------------------------------------------------------------------
+    def _deliver(self, message: NetworkMessage, record: NetLogRecord) -> None:
+        for handler in self._handlers.get(message.dst, ()):  # registered callbacks
+            handler(message, record)
+        box = self._mailboxes.get(message.dst)
+        if box is not None:
+            box.put((message, record))
+
+    @property
+    def in_flight(self) -> int:
+        """Messages injected but not yet delivered."""
+        return self._in_flight
+
+    def channel_utilizations(self) -> Dict[Tuple[int, int], float]:
+        """Utilization of every directed physical channel (virtual
+        lanes of the same physical channel are averaged)."""
+        out: Dict[Tuple[int, int], float] = {}
+        lanes = self.config.virtual_channels
+        for (u, v, _), facility in self._channels.items():
+            out[(u, v)] = out.get((u, v), 0.0) + facility.utilization() / lanes
+        return out
+
+    def mean_channel_utilization(self) -> float:
+        """Average utilization across physical channels (the paper's
+        "overall utilization of the different network resources")."""
+        utils = list(self.channel_utilizations().values())
+        return sum(utils) / len(utils) if utils else 0.0
+
+    def max_channel_utilization(self) -> float:
+        """Peak channel utilization (hot-spot indicator)."""
+        utils = list(self.channel_utilizations().values())
+        return max(utils) if utils else 0.0
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.config.num_nodes):
+            raise ValueError(
+                f"node {node} outside mesh with {self.config.num_nodes} nodes"
+            )

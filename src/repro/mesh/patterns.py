@@ -1,0 +1,196 @@
+"""Classic synthetic traffic patterns for ICN evaluation.
+
+The paper's complaint is that ICN studies use *synthetic* workloads --
+"the most critical one being the uniform traffic assumption".  These
+are those workloads: the standard permutation and probabilistic
+patterns of the interconnection-network literature, provided so the
+characterized application traffic can be compared against them on the
+same simulator (experiments E10/E18).
+
+Each pattern maps a source to a destination distribution; permutation
+patterns are deterministic, probabilistic ones draw per message.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetworkLog
+from repro.mesh.network import MeshNetwork
+from repro.mesh.packet import NetworkMessage
+from repro.simkernel import Simulator, hold
+
+
+class TrafficPattern(ABC):
+    """A destination rule over ``num_nodes`` sources."""
+
+    name: str = "pattern"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"patterns need >= 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        """Destination of one message from ``src``."""
+
+    def _check_src(self, src: int) -> None:
+        if not (0 <= src < self.num_nodes):
+            raise ValueError(f"source {src} outside {self.num_nodes}-node system")
+
+
+class UniformTraffic(TrafficPattern):
+    """Each message goes to a uniformly random other node -- the
+    assumption the paper's methodology exists to replace."""
+
+    name = "uniform"
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        dst = int(rng.integers(0, self.num_nodes - 1))
+        return dst if dst < src else dst + 1
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Node ``i`` sends to ``~i`` (mod the node count) -- long-range
+    permutation stressing bisection (requires power-of-two nodes)."""
+
+    name = "bit-complement"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        if num_nodes & (num_nodes - 1):
+            raise ValueError("bit-complement needs a power-of-two node count")
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        return src ^ (self.num_nodes - 1)
+
+
+class BitReversalTraffic(TrafficPattern):
+    """Node ``i`` sends to bit-reverse(i) -- the FFT-adversarial
+    permutation (requires power-of-two nodes)."""
+
+    name = "bit-reversal"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        if num_nodes & (num_nodes - 1):
+            raise ValueError("bit-reversal needs a power-of-two node count")
+        self._bits = num_nodes.bit_length() - 1
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        out = 0
+        value = src
+        for _ in range(self._bits):
+            out = (out << 1) | (value & 1)
+            value >>= 1
+        return out
+
+
+class TransposeTraffic(TrafficPattern):
+    """Matrix-transpose permutation on a square mesh: ``(x, y)`` sends
+    to ``(y, x)`` (requires a perfect-square node count)."""
+
+    name = "transpose"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        side = int(round(num_nodes**0.5))
+        if side * side != num_nodes:
+            raise ValueError("transpose needs a perfect-square node count")
+        self.side = side
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        x, y = src % self.side, src // self.side
+        return x * self.side + y
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with an extra probability mass on one node --
+    the paper-era model of a shared-variable hotspot."""
+
+    name = "hotspot"
+
+    def __init__(self, num_nodes: int, hotspot: int = 0, fraction: float = 0.3) -> None:
+        super().__init__(num_nodes)
+        if not (0 <= hotspot < num_nodes):
+            raise ValueError(f"hotspot {hotspot} outside {num_nodes}-node system")
+        if not (0.0 < fraction < 1.0):
+            raise ValueError(f"fraction must be in (0,1), got {fraction}")
+        self.hotspot = hotspot
+        self.fraction = fraction
+        self._uniform = UniformTraffic(num_nodes)
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        self._check_src(src)
+        if src != self.hotspot and rng.random() < self.fraction:
+            return self.hotspot
+        return self._uniform.destination(src, rng)
+
+
+def make_pattern(name: str, num_nodes: int, **kwargs) -> TrafficPattern:
+    """Build a pattern by name."""
+    factories = {
+        "uniform": UniformTraffic,
+        "bit-complement": BitComplementTraffic,
+        "bit-reversal": BitReversalTraffic,
+        "transpose": TransposeTraffic,
+        "hotspot": HotspotTraffic,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        raise ValueError(f"unknown pattern {name!r}; choose from {sorted(factories)}")
+    return factory(num_nodes, **kwargs)
+
+
+def drive_pattern(
+    pattern: TrafficPattern,
+    config: MeshConfig,
+    messages_per_source: int = 100,
+    mean_gap: float = 10.0,
+    length_bytes: int = 64,
+    seed: int = 0,
+) -> NetworkLog:
+    """Open-loop Poisson sources driving ``pattern`` through a network.
+
+    The standard ICN-evaluation harness: per-source exponential
+    inter-injection gaps, destinations from the pattern; returns the
+    activity log for latency/throughput analysis.
+    """
+    if messages_per_source < 1:
+        raise ValueError(f"messages_per_source must be >= 1, got {messages_per_source}")
+    if mean_gap <= 0:
+        raise ValueError(f"mean_gap must be > 0, got {mean_gap}")
+    if pattern.num_nodes != config.num_nodes:
+        raise ValueError(
+            f"pattern is for {pattern.num_nodes} nodes, network has {config.num_nodes}"
+        )
+    simulator = Simulator()
+    network = MeshNetwork(simulator, config)
+
+    for src in range(config.num_nodes):
+        rng = np.random.default_rng(seed + 7919 * src)
+
+        def source(src=src, rng=rng):
+            for _ in range(messages_per_source):
+                yield hold(float(rng.exponential(mean_gap)))
+                dst = pattern.destination(src, rng)
+                if dst == src:
+                    continue
+                yield from network.transfer(
+                    NetworkMessage(
+                        src=src, dst=dst, length_bytes=length_bytes, kind=pattern.name
+                    )
+                )
+
+        simulator.process(source(), name=f"{pattern.name}[{src}]")
+    simulator.run()
+    return network.log

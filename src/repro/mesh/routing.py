@@ -1,0 +1,28 @@
+"""Routing helpers (compatibility wrappers over topology routes).
+
+Deterministic routing lives on the topology objects
+(:meth:`repro.mesh.topology.Topology.route`); this module keeps the
+convenient functional forms used by tests and analysis code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mesh.topology import MeshTopology, Topology
+
+Channel = Tuple[int, int]
+
+
+def xy_route(topology: MeshTopology, src: int, dst: int) -> List[Channel]:
+    """Ordered directed channels from ``src`` to ``dst`` under
+    dimension-order (X then Y) routing on a 2-D mesh.
+
+    An empty list means ``src == dst`` (local delivery, no channels).
+    """
+    return [(hop.src, hop.dst) for hop in topology.route(src, dst)]
+
+
+def route_hops(topology: Topology, src: int, dst: int) -> int:
+    """Hop count of the deterministic route."""
+    return topology.hops(src, dst)

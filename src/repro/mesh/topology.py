@@ -1,0 +1,314 @@
+"""Network topologies: 2-D mesh (the paper's), 2-D torus, hypercube.
+
+The paper's simulator is a 2-D mesh; its related work evaluates tori
+with virtual channels (Kumar & Bhuyan) and hypercubes (Kim & Das; Hsu &
+Banerjee).  All three are provided behind one interface so a fitted
+characterization can drive any of them -- the "use the distributions in
+ICN analysis" workflow across topologies.
+
+Every topology yields *directed physical channels* ``(u, v)`` and a
+deterministic, deadlock-free route as a list of :class:`Hop`\\ s.  A
+hop's ``vclass`` pins the virtual-channel class the head flit must use
+on that link (the torus' dateline discipline); ``None`` leaves the
+class free for the router to balance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One physical channel traversal within a route."""
+
+    src: int
+    dst: int
+    #: Virtual-channel class this hop must use (None = router's choice).
+    vclass: Optional[int] = None
+
+
+class Topology(ABC):
+    """Interface every network topology implements."""
+
+    #: Short name used in configs and reports.
+    name: str = "topology"
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Total node count."""
+
+    @abstractmethod
+    def channels(self) -> Iterator[Tuple[int, int]]:
+        """All directed physical channels ``(u, v)``."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> List[Hop]:
+        """Deterministic deadlock-free route (empty when src == dst)."""
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Length of :meth:`route` without materializing it."""
+
+    #: Number of virtual-channel classes the routing discipline needs
+    #: per physical channel for deadlock freedom (1 unless wraparound).
+    required_vclasses: int = 1
+
+    def average_distance(self) -> float:
+        """Mean route length over all ordered src != dst pairs."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        total = sum(self.hops(s, d) for s in range(n) for d in range(n) if s != d)
+        return total / (n * (n - 1))
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside topology with {self.num_nodes} nodes")
+
+
+class MeshTopology(Topology):
+    """``width x height`` 2-D mesh with dimension-order (XY) routing.
+
+    Node ids are row-major: node ``i`` sits at ``(i % width, i // width)``.
+    XY routing is deadlock-free with a single virtual-channel class.
+    """
+
+    name = "mesh"
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {width}x{height}")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coordinates(self, node: int) -> Coordinate:
+        """Map node id -> ``(x, y)`` coordinate (row-major layout)."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Map ``(x, y)`` coordinate -> node id."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinate ({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbors(self, node: int) -> List[int]:
+        """Adjacent node ids (no wraparound)."""
+        x, y = self.coordinates(node)
+        out = []
+        if x > 0:
+            out.append(self.node_at(x - 1, y))
+        if x < self.width - 1:
+            out.append(self.node_at(x + 1, y))
+        if y > 0:
+            out.append(self.node_at(x, y - 1))
+        if y < self.height - 1:
+            out.append(self.node_at(x, y + 1))
+        return out
+
+    def channels(self) -> Iterator[Tuple[int, int]]:
+        for node in range(self.num_nodes):
+            for nbr in self.neighbors(node):
+                yield node, nbr
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[Hop]:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        path: List[Hop] = []
+        x, y = sx, sy
+        while x != dx:
+            nxt = x + 1 if dx > x else x - 1
+            path.append(Hop(self.node_at(x, y), self.node_at(nxt, y)))
+            x = nxt
+        while y != dy:
+            nxt = y + 1 if dy > y else y - 1
+            path.append(Hop(self.node_at(x, y), self.node_at(x, nxt)))
+            y = nxt
+        return path
+
+    def route_yx(self, src: int, dst: int) -> List[Hop]:
+        """Dimension-order route traversing Y before X.
+
+        Used by adaptive routing as the alternative to the default XY
+        order; on its own virtual-channel class it is deadlock-free by
+        the same dimension-order argument.
+        """
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        path: List[Hop] = []
+        x, y = sx, sy
+        while y != dy:
+            nxt = y + 1 if dy > y else y - 1
+            path.append(Hop(self.node_at(x, y), self.node_at(x, nxt)))
+            y = nxt
+        while x != dx:
+            nxt = x + 1 if dx > x else x - 1
+            path.append(Hop(self.node_at(x, y), self.node_at(nxt, y)))
+            x = nxt
+        return path
+
+
+class TorusTopology(MeshTopology):
+    """``width x height`` 2-D torus: mesh plus wraparound channels.
+
+    Dimension-order routing taking the shorter way around each ring.
+    Wormhole deadlock freedom inside a ring uses the classic *dateline*
+    discipline: a worm starts each dimension on virtual-channel class 0
+    and switches to class 1 after crossing that ring's wrap channel, so
+    the channel-dependence graph is acyclic.  Hence
+    ``required_vclasses = 2``.
+    """
+
+    name = "torus"
+    required_vclasses = 2
+
+    def neighbors(self, node: int) -> List[int]:
+        """Adjacent node ids including wraparound (deduplicated)."""
+        x, y = self.coordinates(node)
+        out = {
+            self.node_at((x - 1) % self.width, y),
+            self.node_at((x + 1) % self.width, y),
+            self.node_at(x, (y - 1) % self.height),
+            self.node_at(x, (y + 1) % self.height),
+        }
+        out.discard(node)
+        return sorted(out)
+
+    @staticmethod
+    def _ring_steps(start: int, stop: int, size: int) -> List[int]:
+        """Successive coordinates along the shorter ring direction."""
+        if start == stop or size == 1:
+            return []
+        forward = (stop - start) % size
+        backward = (start - stop) % size
+        step = 1 if forward <= backward else -1
+        steps = []
+        position = start
+        while position != stop:
+            position = (position + step) % size
+            steps.append(position)
+        return steps
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        x_dist = min((dx - sx) % self.width, (sx - dx) % self.width)
+        y_dist = min((dy - sy) % self.height, (sy - dy) % self.height)
+        return x_dist + y_dist
+
+    def _ring_hops(self, fixed: int, moving_start: int, steps: List[int], axis: str) -> List[Hop]:
+        hops: List[Hop] = []
+        vclass = 0
+        position = moving_start
+        for nxt in steps:
+            if axis == "x":
+                hop = Hop(self.node_at(position, fixed), self.node_at(nxt, fixed), vclass)
+                wrapped = abs(nxt - position) > 1
+            else:
+                hop = Hop(self.node_at(fixed, position), self.node_at(fixed, nxt), vclass)
+                wrapped = abs(nxt - position) > 1
+            if wrapped:
+                # Crossing the wrap channel: everything after the
+                # dateline rides class 1.
+                hop = Hop(hop.src, hop.dst, 0)
+                vclass = 1
+            hops.append(hop)
+            position = nxt
+        return hops
+
+    def route(self, src: int, dst: int) -> List[Hop]:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        x_steps = self._ring_steps(sx, dx, self.width)
+        path = self._ring_hops(sy, sx, x_steps, "x")
+        y_steps = self._ring_steps(sy, dy, self.height)
+        path += self._ring_hops(dx, sy, y_steps, "y")
+        return path
+
+
+class HypercubeTopology(Topology):
+    """``d``-dimensional hypercube with e-cube routing.
+
+    Nodes are ``0 .. 2^d - 1``; neighbours differ in exactly one bit.
+    E-cube routing corrects differing bits from least to most
+    significant, which orders channel acquisition and keeps the
+    dependence graph acyclic (single virtual-channel class suffices).
+    """
+
+    name = "hypercube"
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+
+    @classmethod
+    def for_nodes(cls, num_nodes: int) -> "HypercubeTopology":
+        """Hypercube with exactly ``num_nodes`` nodes (power of two)."""
+        if num_nodes < 2 or num_nodes & (num_nodes - 1):
+            raise ValueError(f"hypercube needs a power-of-two node count, got {num_nodes}")
+        return cls(num_nodes.bit_length() - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.dimension
+
+    def neighbors(self, node: int) -> List[int]:
+        """The ``d`` nodes differing from ``node`` in one bit."""
+        self._check_node(node)
+        return [node ^ (1 << k) for k in range(self.dimension)]
+
+    def channels(self) -> Iterator[Tuple[int, int]]:
+        for node in range(self.num_nodes):
+            for nbr in self.neighbors(node):
+                yield node, nbr
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hamming distance."""
+        self._check_node(src)
+        self._check_node(dst)
+        return bin(src ^ dst).count("1")
+
+    def route(self, src: int, dst: int) -> List[Hop]:
+        self._check_node(src)
+        self._check_node(dst)
+        path: List[Hop] = []
+        position = src
+        difference = src ^ dst
+        for k in range(self.dimension):
+            if difference & (1 << k):
+                nxt = position ^ (1 << k)
+                path.append(Hop(position, nxt))
+                position = nxt
+        return path
+
+
+def make_topology(name: str, width: int, height: int) -> Topology:
+    """Build a topology by name over ``width * height`` nodes.
+
+    ``"mesh"`` and ``"torus"`` use the 2-D geometry directly;
+    ``"hypercube"`` requires ``width * height`` to be a power of two.
+    """
+    if name == "mesh":
+        return MeshTopology(width, height)
+    if name == "torus":
+        return TorusTopology(width, height)
+    if name == "hypercube":
+        return HypercubeTopology.for_nodes(width * height)
+    raise ValueError(f"unknown topology {name!r}; choose mesh, torus or hypercube")

@@ -1,0 +1,17 @@
+"""Message-passing substrate (the static strategy's machine).
+
+The paper's static strategy runs MPI applications on an IBM SP2 and
+traces communication "at the application level, not at the hardware
+level".  This package simulates that setup: an MPI-like library over a
+simulated SP2 whose communication software costs follow the paper's
+validated model ("the software overheads amount to 4.63e-2 x + 73.42
+microseconds to transfer x bytes of data"), with an application-level
+tracer capturing every message for later replay into the mesh
+simulator.
+"""
+
+from repro.mp.api import MPIContext
+from repro.mp.runtime import MessagePassingRuntime
+from repro.mp.sp2 import SP2Config
+
+__all__ = ["MPIContext", "MessagePassingRuntime", "SP2Config"]

@@ -1,0 +1,108 @@
+"""Collective operations over point-to-point messages.
+
+All collectives use the flat, root-centric decomposition (root
+exchanges one message with every other rank).  This matches the SP2-era
+MPI behaviour the paper observed in MG's traffic -- everything funnels
+through the collective root, making it the favorite processor in the
+message-count distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.mp.api import COLLECTIVE_TAG
+
+#: Payload size used for barrier token messages.
+BARRIER_BYTES = 4
+
+
+def barrier(comm) -> Any:
+    """Flat barrier rooted at rank 0: gather tokens, then release."""
+    root = 0
+    if comm.rank == root:
+        for src in range(comm.size):
+            if src != root:
+                yield from comm.recv(src, tag=COLLECTIVE_TAG)
+        for dst in range(comm.size):
+            if dst != root:
+                yield from comm.send(
+                    dst, None, BARRIER_BYTES, tag=COLLECTIVE_TAG, kind="barrier"
+                )
+    else:
+        yield from comm.send(
+            root, None, BARRIER_BYTES, tag=COLLECTIVE_TAG, kind="barrier"
+        )
+        yield from comm.recv(root, tag=COLLECTIVE_TAG)
+
+
+def bcast(comm, root: int, payload: Any, nbytes: int) -> Any:
+    """Root sends the payload to every other rank; returns it everywhere."""
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                yield from comm.send(dst, payload, nbytes, tag=COLLECTIVE_TAG, kind="bcast")
+        return payload
+    return (yield from comm.recv(root, tag=COLLECTIVE_TAG))
+
+
+def reduce(comm, root: int, value: Any, nbytes: int, op: Callable[[Any, Any], Any]) -> Any:
+    """Every rank sends its value to ``root``, which folds with ``op``.
+
+    Folding is in rank order for determinism.  Returns the reduction at
+    the root, None elsewhere.
+    """
+    if comm.rank == root:
+        partials = {root: value}
+        for src in range(comm.size):
+            if src != root:
+                partials[src] = yield from comm.recv(src, tag=COLLECTIVE_TAG)
+        result = partials[0]
+        for rank in range(1, comm.size):
+            result = op(result, partials[rank])
+        return result
+    yield from comm.send(root, value, nbytes, tag=COLLECTIVE_TAG, kind="reduce")
+    return None
+
+
+def allreduce(comm, value: Any, nbytes: int, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce to rank 0, broadcast the result -- the root-centric
+    composition whose traffic makes p0 the favorite."""
+    result = yield from reduce(comm, 0, value, nbytes, op)
+    return (yield from bcast(comm, 0, result, nbytes))
+
+
+def alltoall(comm, chunks: List[Any], nbytes_each: int) -> List[Any]:
+    """Personalized all-to-all: ``chunks[q]`` goes to rank q.
+
+    Sends are posted first (eager), then receives drained; returns the
+    received list with the local chunk kept in place.
+    """
+    if len(chunks) != comm.size:
+        raise ValueError(
+            f"alltoall needs {comm.size} chunks, got {len(chunks)}"
+        )
+    received: List[Any] = [None] * comm.size
+    received[comm.rank] = chunks[comm.rank]
+    for dst in range(comm.size):
+        if dst != comm.rank:
+            yield from comm.send(
+                dst, chunks[dst], nbytes_each, tag=COLLECTIVE_TAG, kind="alltoall"
+            )
+    for src in range(comm.size):
+        if src != comm.rank:
+            received[src] = yield from comm.recv(src, tag=COLLECTIVE_TAG)
+    return received
+
+
+def gather(comm, root: int, value: Any, nbytes: int) -> Any:
+    """Gather one value per rank at ``root`` (list there, None elsewhere)."""
+    if comm.rank == root:
+        values: List[Any] = [None] * comm.size
+        values[root] = value
+        for src in range(comm.size):
+            if src != root:
+                values[src] = yield from comm.recv(src, tag=COLLECTIVE_TAG)
+        return values
+    yield from comm.send(root, value, nbytes, tag=COLLECTIVE_TAG, kind="gather")
+    return None

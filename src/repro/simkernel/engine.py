@@ -1,0 +1,268 @@
+"""Core event loop and process model for the simulation kernel.
+
+The engine follows the classic process-oriented style of CSIM: model
+code is written as plain Python generator functions.  Each time the
+process wants simulated time to pass, or wants to synchronize on a
+resource, it ``yield``\\ s a *command object* and the engine resumes it
+when the command completes.  Because commands compose with ``yield
+from``, model code can be factored into ordinary sub-generators.
+
+Only the commands defined in this package are understood by the engine;
+yielding anything else raises :class:`SimulationError` immediately,
+which keeps model bugs loud instead of silently stalling.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for malformed model behaviour (bad yields, double release,
+    running a finished simulator, and similar programming errors)."""
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a :class:`Process`."""
+
+    CREATED = "created"
+    RUNNABLE = "runnable"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Command: suspend the issuing process for ``duration`` time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"hold() duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Command: block until ``event`` is set (no-op if already set)."""
+
+    event: Any  # SimEvent; typed loosely to avoid an import cycle
+
+
+@dataclass(frozen=True)
+class Passivate:
+    """Command: suspend indefinitely until another process calls
+    :meth:`Process.activate`."""
+
+
+def hold(duration: float) -> Hold:
+    """Advance the issuing process's clock by ``duration`` (CSIM ``hold``)."""
+    return Hold(float(duration))
+
+
+def wait(event: Any) -> Wait:
+    """Block on a :class:`~repro.simkernel.events.SimEvent` (CSIM ``wait``)."""
+    return Wait(event)
+
+
+def passivate() -> Passivate:
+    """Suspend until explicitly re-activated (CSIM ``suspend``)."""
+    return Passivate()
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A simulated process wrapping a generator.
+
+    Processes are created through :meth:`Simulator.process`; they should
+    not be instantiated directly.  The wrapped generator is resumed by
+    the engine whenever the command it yielded completes; the value of a
+    completed command (e.g. the message for a mailbox receive) is
+    delivered as the value of the ``yield`` expression.
+    """
+
+    def __init__(self, simulator: "Simulator", body: ProcessBody, name: str) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.state = ProcessState.CREATED
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._body = body
+        self._waiters: List[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, {self.state.value})"
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator has run to completion (or failed)."""
+        return self.state in (ProcessState.FINISHED, ProcessState.FAILED)
+
+    def activate(self, value: Any = None) -> None:
+        """Re-activate a passivated process, delivering ``value`` to it."""
+        if self.finished:
+            raise SimulationError(f"cannot activate finished process {self.name!r}")
+        if self.state is not ProcessState.WAITING:
+            raise SimulationError(
+                f"cannot activate process {self.name!r} in state {self.state.value}"
+            )
+        self.simulator._schedule_step(self, value)
+
+    def join(self) -> Generator[Any, Any, Any]:
+        """Command sub-generator: block until this process finishes.
+
+        Use as ``result = yield from other.join()``.
+        """
+        if not self.finished:
+            waiter = self.simulator.current_process
+            if waiter is None:
+                raise SimulationError("join() may only be used from inside a process")
+            self._waiters.append(waiter)
+            yield Passivate()
+        if self.state is ProcessState.FAILED and self.error is not None:
+            raise self.error
+        return self.result
+
+
+class Simulator:
+    """The simulation executive: clock, event list, and process table.
+
+    The event list is a binary heap keyed on ``(time, sequence)`` so
+    that simultaneous events fire in deterministic FIFO order -- a
+    property the network simulator's contention accounting relies on.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+        self.current_process: Optional[Process] = None
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        """All processes ever created on this simulator."""
+        return tuple(self._processes)
+
+    @property
+    def active_process_count(self) -> int:
+        """Number of processes that have not yet finished."""
+        return sum(1 for p in self._processes if not p.finished)
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback))
+
+    def process(self, body: ProcessBody, name: str = "process") -> Process:
+        """Create a process from generator ``body`` and schedule its start."""
+        if not isinstance(body, Iterator):
+            raise SimulationError(
+                f"process body must be a generator, got {type(body).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        proc = Process(self, body, name)
+        self._processes.append(proc)
+        proc.state = ProcessState.RUNNABLE
+        self.schedule(0.0, lambda: self._step(proc, None))
+        return proc
+
+    def stop(self) -> None:
+        """Halt the event loop after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the event list drains, ``until`` is reached,
+        or :meth:`stop` is called.  Returns the final clock value."""
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                when, _, callback = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return self._now
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
+    def _schedule_step(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
+        proc.state = ProcessState.RUNNABLE
+        self.schedule(delay, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if proc.finished:
+            return
+        previous = self.current_process
+        self.current_process = proc
+        try:
+            command = proc._body.send(value)
+        except StopIteration as stop_marker:
+            proc.state = ProcessState.FINISHED
+            proc.result = stop_marker.value
+            self._wake_joiners(proc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - model errors must surface
+            proc.state = ProcessState.FAILED
+            proc.error = exc
+            self._wake_joiners(proc)
+            raise
+        finally:
+            self.current_process = previous
+        self._dispatch(proc, command)
+
+    def _wake_joiners(self, proc: Process) -> None:
+        waiters, proc._waiters = proc._waiters, []
+        for waiter in waiters:
+            if not waiter.finished:
+                self._schedule_step(waiter, proc.result)
+
+    def _dispatch(self, proc: Process, command: Any) -> None:
+        handler = getattr(command, "_execute", None)
+        if isinstance(command, Hold):
+            proc.state = ProcessState.WAITING
+            self._schedule_step(proc, None, delay=command.duration)
+        elif isinstance(command, Wait):
+            proc.state = ProcessState.WAITING
+            command.event._add_waiter(proc)
+        elif isinstance(command, Passivate):
+            proc.state = ProcessState.WAITING
+        elif handler is not None:
+            # Facility/mailbox commands know how to park or resume the
+            # process themselves; see facility.py and mailbox.py.
+            proc.state = ProcessState.WAITING
+            handler(proc)
+        else:
+            proc.state = ProcessState.FAILED
+            proc.error = SimulationError(
+                f"process {proc.name!r} yielded unknown command {command!r}"
+            )
+            raise proc.error

@@ -1,0 +1,178 @@
+"""Served resources with queueing and utilization statistics.
+
+:class:`Facility` reproduces CSIM's ``facility``: a resource with one or
+more servers and a FIFO queue of requesting processes.  The mesh network
+simulator models every physical channel as a single-server facility;
+the time a head flit spends queued for the channel is exactly the
+*contention* component of message latency that the paper logs, and the
+busy-time integral gives the channel *utilization* the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+from collections import deque
+
+from repro.simkernel.engine import Hold, Process, SimulationError, Simulator
+
+
+@dataclass(frozen=True)
+class Request:
+    """Command: acquire one server of ``facility`` (FIFO, blocking)."""
+
+    facility: "Facility"
+
+    def _execute(self, proc: Process) -> None:
+        self.facility._request(proc)
+
+
+@dataclass(frozen=True)
+class Release:
+    """Command: release one previously acquired server of ``facility``."""
+
+    facility: "Facility"
+
+    def _execute(self, proc: Process) -> None:
+        self.facility._release(proc)
+        # Releasing never blocks: resume the caller immediately.
+        proc.simulator._schedule_step(proc, None)
+
+
+def request(facility: "Facility") -> Request:
+    """Yieldable command acquiring ``facility`` (CSIM ``reserve``)."""
+    return Request(facility)
+
+
+def release(facility: "Facility") -> Release:
+    """Yieldable command releasing ``facility`` (CSIM ``release``)."""
+    return Release(facility)
+
+
+class Facility:
+    """A multi-server resource with FIFO queueing and usage accounting.
+
+    Parameters
+    ----------
+    simulator:
+        Owning simulator (statistics are integrated against its clock).
+    name:
+        Diagnostic label.
+    servers:
+        Number of identical servers (default 1, as for a mesh channel).
+    """
+
+    def __init__(self, simulator: Simulator, name: str = "facility", servers: int = 1) -> None:
+        if servers < 1:
+            raise SimulationError(f"facility needs >= 1 server, got {servers}")
+        self.simulator = simulator
+        self.name = name
+        self.servers = servers
+        self._holders: Dict[int, Process] = {}
+        self._queue: Deque[Process] = deque()
+        self._busy = 0
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_change = 0.0
+        self.total_requests = 0
+        self.total_queued = 0
+        self._wait_times: List[float] = []
+        self._enqueue_times: Dict[int, float] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Facility({self.name!r}, busy={self._busy}/{self.servers}, q={len(self._queue)})"
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        """Number of servers currently held."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a server."""
+        return len(self._queue)
+
+    @property
+    def is_free(self) -> bool:
+        """Whether at least one server is available right now."""
+        return self._busy < self.servers
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _integrate(self) -> None:
+        now = self.simulator.now
+        span = now - self._last_change
+        if span > 0:
+            self._busy_integral += span * self._busy
+            self._queue_integral += span * len(self._queue)
+            self._last_change = now
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of server capacity in use so far."""
+        self._integrate()
+        elapsed = self.simulator.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.servers)
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged number of queued (not yet served) processes."""
+        self._integrate()
+        elapsed = self.simulator.now
+        if elapsed <= 0:
+            return 0.0
+        return self._queue_integral / elapsed
+
+    def mean_wait_time(self) -> float:
+        """Mean time requests spent queued before acquiring a server."""
+        if not self._wait_times:
+            return 0.0
+        return sum(self._wait_times) / len(self._wait_times)
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def _request(self, proc: Process) -> None:
+        self._integrate()
+        self.total_requests += 1
+        if self._busy < self.servers:
+            self._busy += 1
+            self._holders[id(proc)] = proc
+            self._wait_times.append(0.0)
+            self.simulator._schedule_step(proc, None)
+        else:
+            self.total_queued += 1
+            self._enqueue_times[id(proc)] = self.simulator.now
+            self._queue.append(proc)
+
+    def _release(self, proc: Process) -> None:
+        self._integrate()
+        if id(proc) not in self._holders:
+            raise SimulationError(
+                f"process {proc.name!r} released facility {self.name!r} it does not hold"
+            )
+        del self._holders[id(proc)]
+        if self._queue:
+            nxt = self._queue.popleft()
+            queued_at = self._enqueue_times.pop(id(nxt))
+            self._wait_times.append(self.simulator.now - queued_at)
+            self._holders[id(nxt)] = nxt
+            self.simulator._schedule_step(nxt, None)
+        else:
+            self._busy -= 1
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def use(self, duration: float):
+        """Sub-generator: acquire, hold ``duration``, release.
+
+        Use as ``yield from channel.use(t)``.
+        """
+        yield Request(self)
+        yield Hold(float(duration))
+        yield Release(self)

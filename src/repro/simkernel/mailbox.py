@@ -1,0 +1,96 @@
+"""Blocking message queues between simulated processes.
+
+:class:`Mailbox` mirrors CSIM's ``mailbox``: an unbounded FIFO of
+messages with blocking receive.  The execution-driven runtime uses one
+mailbox per processor's network interface, and the message-passing
+substrate builds its MPI-like matching on top of tagged mailboxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Deque, List
+from collections import deque
+
+from repro.simkernel.engine import Process, Simulator
+
+
+@dataclass(frozen=True)
+class Receive:
+    """Command: take the oldest message from ``mailbox`` (blocking)."""
+
+    mailbox: "Mailbox"
+
+    def _execute(self, proc: Process) -> None:
+        self.mailbox._receive(proc)
+
+
+@dataclass(frozen=True)
+class Send:
+    """Command: deposit ``message`` into ``mailbox`` (never blocks)."""
+
+    mailbox: "Mailbox"
+    message: Any
+
+    def _execute(self, proc: Process) -> None:
+        self.mailbox.put(self.message)
+        proc.simulator._schedule_step(proc, None)
+
+
+def receive(mailbox: "Mailbox") -> Receive:
+    """Yieldable command receiving from ``mailbox`` (CSIM ``receive``)."""
+    return Receive(mailbox)
+
+
+def send(mailbox: "Mailbox", message: Any) -> Send:
+    """Yieldable command sending ``message`` to ``mailbox`` (CSIM ``send``)."""
+    return Send(mailbox, message)
+
+
+class Mailbox:
+    """Unbounded FIFO message queue with blocking receive."""
+
+    def __init__(self, simulator: Simulator, name: str = "mailbox") -> None:
+        self.simulator = simulator
+        self.name = name
+        self._messages: Deque[Any] = deque()
+        self._waiters: Deque[Process] = deque()
+        self.total_sent = 0
+        self.total_received = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mailbox({self.name!r}, pending={len(self._messages)})"
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not yet received, messages."""
+        return len(self._messages)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes blocked in receive."""
+        return len(self._waiters)
+
+    def put(self, message: Any) -> None:
+        """Deposit a message; callable from process or non-process code."""
+        self.total_sent += 1
+        if self._waiters:
+            proc = self._waiters.popleft()
+            self.total_received += 1
+            self.simulator._schedule_step(proc, message)
+        else:
+            self._messages.append(message)
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued messages (for diagnostics/tests)."""
+        return list(self._messages)
+
+    def _receive(self, proc: Process) -> None:
+        if self._messages:
+            self.total_received += 1
+            self.simulator._schedule_step(proc, self._messages.popleft())
+        else:
+            self._waiters.append(proc)

@@ -1,0 +1,770 @@
+"""Candidate distribution library for the regression analysis.
+
+These are the "commonly used distributions" the paper fits message
+inter-arrival times against.  Every family exposes a uniform interface:
+``pdf``/``cdf``, analytic ``mean``/``variance``, ``sample`` for the
+synthetic traffic generator, and the unconstrained-vector plumbing the
+secant regression needs (positive parameters are fit in log space,
+probabilities through a logistic transform, so the solver can roam all
+of R^n without leaving the family's domain).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+from scipy import stats as sps
+
+_EPS = 1e-12
+
+
+def _exp(value: float) -> float:
+    """Clamped exponential keeping fitted parameters in a sane range."""
+    return math.exp(min(max(float(value), -60.0), 60.0))
+
+
+def _logit(p: float) -> float:
+    p = min(max(p, 1e-9), 1 - 1e-9)
+    return math.log(p / (1 - p))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+class Distribution(ABC):
+    """A parametric continuous distribution usable in the regression.
+
+    Subclasses define ``name``, construct from named parameters, and
+    implement the probability interface plus the unconstrained-vector
+    transform used by :mod:`repro.stats.secant`.
+    """
+
+    name: str = "distribution"
+
+    @abstractmethod
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density at ``x`` (vectorized)."""
+
+    @abstractmethod
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative probability at ``x`` (vectorized)."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean."""
+
+    @abstractmethod
+    def variance(self) -> float:
+        """Analytic variance."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` variates using ``rng``."""
+
+    @abstractmethod
+    def params(self) -> Dict[str, float]:
+        """Named parameter values."""
+
+    @abstractmethod
+    def to_unconstrained(self) -> np.ndarray:
+        """Map parameters to an unconstrained real vector for fitting."""
+
+    @classmethod
+    @abstractmethod
+    def from_unconstrained(cls, vector: np.ndarray) -> "Distribution":
+        """Inverse of :meth:`to_unconstrained`."""
+
+    @classmethod
+    @abstractmethod
+    def initial_guess(cls, data: np.ndarray) -> "Distribution":
+        """Moment-matched starting point for the regression."""
+
+    def std(self) -> float:
+        """Analytic standard deviation."""
+        return math.sqrt(max(self.variance(), 0.0))
+
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        mu = self.mean()
+        return self.std() / mu if mu > 0 else float("inf")
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``exponential(rate=0.031)``."""
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in self.params().items())
+        return f"{self.name}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``lam`` (mean ``1/lam``)."""
+
+    name = "exponential"
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, self.rate * np.exp(-self.rate * x), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, 1.0 - np.exp(-self.rate * x), 0.0)
+
+    def mean(self):
+        return 1.0 / self.rate
+
+    def variance(self):
+        return 1.0 / self.rate**2
+
+    def sample(self, rng, size):
+        return rng.exponential(1.0 / self.rate, size)
+
+    def params(self):
+        return {"rate": self.rate}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.rate)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(rate=_exp(vector[0]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        mean = float(np.mean(data))
+        return cls(rate=1.0 / max(mean, _EPS))
+
+
+class ShiftedExponential(Distribution):
+    """Exponential shifted right by ``shift`` (a minimum inter-arrival gap).
+
+    Message generation cannot be faster than the processor's issue path,
+    so a deterministic offset plus an exponential tail is a natural
+    model for several applications' inter-arrival times.
+    """
+
+    name = "shifted-exponential"
+
+    def __init__(self, shift: float, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if shift < 0:
+            raise ValueError(f"shift must be >= 0, got {shift}")
+        self.shift = float(shift)
+        self.rate = float(rate)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = x - self.shift
+        return np.where(z >= 0, self.rate * np.exp(-self.rate * z), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = x - self.shift
+        return np.where(z >= 0, 1.0 - np.exp(-self.rate * z), 0.0)
+
+    def mean(self):
+        return self.shift + 1.0 / self.rate
+
+    def variance(self):
+        return 1.0 / self.rate**2
+
+    def sample(self, rng, size):
+        return self.shift + rng.exponential(1.0 / self.rate, size)
+
+    def params(self):
+        return {"shift": self.shift, "rate": self.rate}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.shift + _EPS), math.log(self.rate)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(shift=_exp(vector[0]), rate=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        shift = float(np.min(data)) * 0.9
+        tail_mean = float(np.mean(data)) - shift
+        return cls(shift=max(shift, _EPS), rate=1.0 / max(tail_mean, _EPS))
+
+
+class Erlang(Distribution):
+    """Erlang distribution: sum of ``k`` iid exponentials of rate ``rate``.
+
+    The shape ``k`` is integral and frozen during regression (only the
+    rate is fit), matching how PROC NLIN treats integer-constrained
+    shapes.
+    """
+
+    name = "erlang"
+
+    def __init__(self, k: int, rate: float) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.k = int(k)
+        self.rate = float(rate)
+
+    def pdf(self, x):
+        return sps.erlang.pdf(np.asarray(x, dtype=float), self.k, scale=1.0 / self.rate)
+
+    def cdf(self, x):
+        return sps.erlang.cdf(np.asarray(x, dtype=float), self.k, scale=1.0 / self.rate)
+
+    def mean(self):
+        return self.k / self.rate
+
+    def variance(self):
+        return self.k / self.rate**2
+
+    def sample(self, rng, size):
+        return rng.gamma(self.k, 1.0 / self.rate, size)
+
+    def params(self):
+        return {"k": float(self.k), "rate": self.rate}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.rate)])
+
+    def from_unconstrained(self, vector):  # type: ignore[override]
+        # Instance-level: preserves the frozen integer shape k.
+        return Erlang(k=self.k, rate=_exp(vector[0]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        mean = float(np.mean(data))
+        var = float(np.var(data))
+        if var <= _EPS or mean <= _EPS:
+            return cls(k=1, rate=1.0 / max(mean, _EPS))
+        k = max(1, min(50, round(mean**2 / var)))
+        return cls(k=k, rate=k / mean)
+
+
+class Gamma(Distribution):
+    """Gamma distribution with ``shape`` and ``scale``."""
+
+    name = "gamma"
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be > 0, got {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        return sps.gamma.pdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def cdf(self, x):
+        return sps.gamma.cdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def mean(self):
+        return self.shape * self.scale
+
+    def variance(self):
+        return self.shape * self.scale**2
+
+    def sample(self, rng, size):
+        return rng.gamma(self.shape, self.scale, size)
+
+    def params(self):
+        return {"shape": self.shape, "scale": self.scale}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.shape), math.log(self.scale)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(shape=_exp(vector[0]), scale=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        mean = float(np.mean(data))
+        var = max(float(np.var(data)), _EPS)
+        shape = max(mean**2 / var, _EPS)
+        scale = var / max(mean, _EPS)
+        return cls(shape=shape, scale=max(scale, _EPS))
+
+
+class Weibull(Distribution):
+    """Weibull distribution with ``shape`` and ``scale``."""
+
+    name = "weibull"
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be > 0, got {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        return sps.weibull_min.pdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def cdf(self, x):
+        return sps.weibull_min.cdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def mean(self):
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self):
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+    def sample(self, rng, size):
+        return self.scale * rng.weibull(self.shape, size)
+
+    def params(self):
+        return {"shape": self.shape, "scale": self.scale}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.shape), math.log(self.scale)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(shape=_exp(vector[0]), scale=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        mean = float(np.mean(data))
+        std = math.sqrt(max(float(np.var(data)), _EPS))
+        cv = std / max(mean, _EPS)
+        # Standard approximation: shape ~ cv^-1.086 for Weibull.
+        shape = min(max(cv ** -1.086 if cv > 0 else 1.0, 0.1), 20.0)
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape=shape, scale=max(scale, _EPS))
+
+
+class Normal(Distribution):
+    """Normal distribution (fits near-symmetric inter-arrival clusters)."""
+
+    name = "normal"
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def pdf(self, x):
+        return sps.norm.pdf(np.asarray(x, dtype=float), self.mu, self.sigma)
+
+    def cdf(self, x):
+        return sps.norm.cdf(np.asarray(x, dtype=float), self.mu, self.sigma)
+
+    def mean(self):
+        return self.mu
+
+    def variance(self):
+        return self.sigma**2
+
+    def sample(self, rng, size):
+        return rng.normal(self.mu, self.sigma, size)
+
+    def params(self):
+        return {"mu": self.mu, "sigma": self.sigma}
+
+    def to_unconstrained(self):
+        return np.array([self.mu, math.log(self.sigma)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(mu=float(vector[0]), sigma=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        return cls(
+            mu=float(np.mean(data)),
+            sigma=max(math.sqrt(max(float(np.var(data)), 0.0)), _EPS),
+        )
+
+
+class Uniform(Distribution):
+    """Continuous uniform distribution on ``[low, low + width]``."""
+
+    name = "uniform"
+
+    def __init__(self, low: float, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be > 0, got {width}")
+        self.low = float(low)
+        self.width = float(width)
+
+    @property
+    def high(self) -> float:
+        """Upper endpoint of the support."""
+        return self.low + self.width
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.low) & (x <= self.high)
+        return np.where(inside, 1.0 / self.width, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.clip((x - self.low) / self.width, 0.0, 1.0)
+
+    def mean(self):
+        return self.low + self.width / 2.0
+
+    def variance(self):
+        return self.width**2 / 12.0
+
+    def sample(self, rng, size):
+        return rng.uniform(self.low, self.high, size)
+
+    def params(self):
+        return {"low": self.low, "high": self.high}
+
+    def to_unconstrained(self):
+        return np.array([self.low, math.log(self.width)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(low=float(vector[0]), width=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        low = float(np.min(data))
+        high = float(np.max(data))
+        return cls(low=low, width=max(high - low, _EPS))
+
+
+class Hyperexponential2(Distribution):
+    """Two-phase hyperexponential: mixture ``p*Exp(r1) + (1-p)*Exp(r2)``.
+
+    Captures the bursty (CV > 1) inter-arrival behaviour shared-memory
+    applications show: clustered coherence misses separated by long
+    compute gaps.
+    """
+
+    name = "hyperexponential"
+
+    def __init__(self, p: float, rate1: float, rate2: float) -> None:
+        if not (0.0 < p < 1.0):
+            raise ValueError(f"p must be in (0,1), got {p}")
+        if rate1 <= 0 or rate2 <= 0:
+            raise ValueError(f"rates must be > 0, got {rate1}, {rate2}")
+        self.p = float(p)
+        self.rate1 = float(rate1)
+        self.rate2 = float(rate2)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = self.p * self.rate1 * np.exp(-self.rate1 * x)
+        out = out + (1 - self.p) * self.rate2 * np.exp(-self.rate2 * x)
+        return np.where(x >= 0, out, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = self.p * (1 - np.exp(-self.rate1 * x))
+        out = out + (1 - self.p) * (1 - np.exp(-self.rate2 * x))
+        return np.where(x >= 0, out, 0.0)
+
+    def mean(self):
+        return self.p / self.rate1 + (1 - self.p) / self.rate2
+
+    def variance(self):
+        second = 2 * self.p / self.rate1**2 + 2 * (1 - self.p) / self.rate2**2
+        return second - self.mean() ** 2
+
+    def sample(self, rng, size):
+        choose_first = rng.random(size) < self.p
+        fast = rng.exponential(1.0 / self.rate1, size)
+        slow = rng.exponential(1.0 / self.rate2, size)
+        return np.where(choose_first, fast, slow)
+
+    def params(self):
+        return {"p": self.p, "rate1": self.rate1, "rate2": self.rate2}
+
+    def to_unconstrained(self):
+        return np.array([_logit(self.p), math.log(self.rate1), math.log(self.rate2)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(
+            p=_sigmoid(float(vector[0])),
+            rate1=_exp(vector[1]),
+            rate2=_exp(vector[2]),
+        )
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        mean = max(float(np.mean(data)), _EPS)
+        # Split observations around the mean into a fast and a slow phase.
+        fast = data[data <= mean]
+        slow = data[data > mean]
+        if fast.size == 0 or slow.size == 0:
+            return cls(p=0.5, rate1=2.0 / mean, rate2=0.5 / mean)
+        p = fast.size / data.size
+        rate1 = 1.0 / max(float(np.mean(fast)), _EPS)
+        rate2 = 1.0 / max(float(np.mean(slow)), _EPS)
+        return cls(p=min(max(p, 0.01), 0.99), rate1=rate1, rate2=rate2)
+
+
+class Hypoexponential2(Distribution):
+    """Two-stage hypoexponential: sum of Exp(r1) and Exp(r2), r1 != r2.
+
+    Captures smoother-than-Poisson (CV < 1) generation, e.g. pipelined
+    phases where each message requires two sequential service stages.
+    """
+
+    name = "hypoexponential"
+
+    def __init__(self, rate1: float, rate2: float) -> None:
+        if rate1 <= 0 or rate2 <= 0:
+            raise ValueError(f"rates must be > 0, got {rate1}, {rate2}")
+        if abs(rate1 - rate2) < 1e-9 * max(rate1, rate2):
+            # Nudge apart: the two-rate closed form is singular at equality.
+            rate2 = rate2 * (1.0 + 1e-6)
+        self.rate1 = float(rate1)
+        self.rate2 = float(rate2)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        r1, r2 = self.rate1, self.rate2
+        coeff = r1 * r2 / (r2 - r1)
+        out = coeff * (np.exp(-r1 * x) - np.exp(-r2 * x))
+        return np.where(x >= 0, np.maximum(out, 0.0), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        r1, r2 = self.rate1, self.rate2
+        out = 1.0 - (r2 * np.exp(-r1 * x) - r1 * np.exp(-r2 * x)) / (r2 - r1)
+        return np.where(x >= 0, np.clip(out, 0.0, 1.0), 0.0)
+
+    def mean(self):
+        return 1.0 / self.rate1 + 1.0 / self.rate2
+
+    def variance(self):
+        return 1.0 / self.rate1**2 + 1.0 / self.rate2**2
+
+    def sample(self, rng, size):
+        return rng.exponential(1.0 / self.rate1, size) + rng.exponential(
+            1.0 / self.rate2, size
+        )
+
+    def params(self):
+        return {"rate1": self.rate1, "rate2": self.rate2}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.rate1), math.log(self.rate2)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(rate1=_exp(vector[0]), rate2=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        mean = max(float(np.mean(data)), _EPS)
+        # Asymmetric split of the mean between the two stages.
+        return cls(rate1=3.0 / mean, rate2=1.5 / mean)
+
+
+class Deterministic(Distribution):
+    """Point mass at ``value`` (fixed inter-arrival gap).
+
+    Not fit by regression -- selected directly when the sample variance
+    is negligible relative to the mean.
+    """
+
+    name = "deterministic"
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"value must be >= 0, got {value}")
+        self.value = float(value)
+
+    def pdf(self, x):
+        # Density is a delta; report an indicator spike for plotting.
+        x = np.asarray(x, dtype=float)
+        return np.where(np.isclose(x, self.value), np.inf, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= self.value, 1.0, 0.0)
+
+    def mean(self):
+        return self.value
+
+    def variance(self):
+        return 0.0
+
+    def sample(self, rng, size):
+        return np.full(size, self.value)
+
+    def params(self):
+        return {"value": self.value}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.value + _EPS)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(value=_exp(vector[0]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        return cls(value=float(np.mean(data)))
+
+
+class Lognormal(Distribution):
+    """Lognormal distribution: ``exp(Normal(mu, sigma))``.
+
+    Common for service/think times with multiplicative variability;
+    included in the candidate library as an extension to the paper's
+    set.
+    """
+
+    name = "lognormal"
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def pdf(self, x):
+        return sps.lognorm.pdf(
+            np.asarray(x, dtype=float), self.sigma, scale=math.exp(self.mu)
+        )
+
+    def cdf(self, x):
+        return sps.lognorm.cdf(
+            np.asarray(x, dtype=float), self.sigma, scale=math.exp(self.mu)
+        )
+
+    def mean(self):
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def variance(self):
+        factor = math.exp(self.sigma**2) - 1.0
+        return factor * math.exp(2.0 * self.mu + self.sigma**2)
+
+    def sample(self, rng, size):
+        return rng.lognormal(self.mu, self.sigma, size)
+
+    def params(self):
+        return {"mu": self.mu, "sigma": self.sigma}
+
+    def to_unconstrained(self):
+        return np.array([self.mu, math.log(self.sigma)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(mu=float(np.clip(vector[0], -60.0, 60.0)), sigma=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        positive = data[data > 0]
+        if positive.size == 0:
+            raise ValueError("lognormal needs positive observations")
+        logs = np.log(positive)
+        return cls(
+            mu=float(np.mean(logs)),
+            sigma=max(float(np.std(logs)), _EPS),
+        )
+
+
+class Pareto(Distribution):
+    """Pareto distribution on ``[scale, inf)`` with tail index ``shape``.
+
+    The canonical heavy-tail model; mean requires ``shape > 1`` and
+    variance ``shape > 2`` (infinite otherwise).  Not in the default
+    candidate list (its hard lower bound rarely matches inter-arrival
+    data) but available for explicit tail studies.
+    """
+
+    name = "pareto"
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be > 0, got {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        return sps.pareto.pdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def cdf(self, x):
+        return sps.pareto.cdf(np.asarray(x, dtype=float), self.shape, scale=self.scale)
+
+    def mean(self):
+        if self.shape <= 1:
+            return float("inf")
+        return self.shape * self.scale / (self.shape - 1.0)
+
+    def variance(self):
+        if self.shape <= 2:
+            return float("inf")
+        a = self.shape
+        return self.scale**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def sample(self, rng, size):
+        return self.scale * (1.0 + rng.pareto(self.shape, size))
+
+    def params(self):
+        return {"shape": self.shape, "scale": self.scale}
+
+    def to_unconstrained(self):
+        return np.array([math.log(self.shape), math.log(self.scale)])
+
+    @classmethod
+    def from_unconstrained(cls, vector):
+        return cls(shape=_exp(vector[0]), scale=_exp(vector[1]))
+
+    @classmethod
+    def initial_guess(cls, data):
+        data = np.asarray(data, dtype=float)
+        positive = data[data > 0]
+        if positive.size == 0:
+            raise ValueError("pareto needs positive observations")
+        scale = float(np.min(positive)) * 0.95
+        # Hill-style estimator for the tail index.
+        logs = np.log(positive / max(scale, _EPS))
+        shape = 1.0 / max(float(np.mean(logs)), _EPS)
+        return cls(shape=min(max(shape, 0.1), 50.0), scale=max(scale, _EPS))
+
+
+def continuous_candidates() -> List[Type[Distribution]]:
+    """The default candidate families for inter-arrival fitting.
+
+    Ordered roughly from simplest to richest; the model-selection logic
+    in :mod:`repro.stats.fitting` prefers simpler families on ties.
+    :class:`Pareto` is excluded (hard lower bound) but available
+    explicitly.
+    """
+    return [
+        Exponential,
+        ShiftedExponential,
+        Erlang,
+        Gamma,
+        Weibull,
+        Lognormal,
+        Hyperexponential2,
+        Hypoexponential2,
+        Normal,
+        Uniform,
+    ]

@@ -1,0 +1,308 @@
+"""Discrete destination-distribution models (spatial characterization).
+
+The paper expresses each application's spatial behaviour as "the
+fraction of messages sent by a processor to others in the system" and
+classifies the per-processor histograms against simple named patterns:
+
+* **uniform** -- every other processor receives an equal share
+  (the classic uniform-traffic assumption);
+* **bimodal uniform** -- "one processor gets the maximum number of
+  messages and the rest of them get equal number of messages" (the
+  *favorite processor* pattern of IS, Cholesky and MG's broadcasts);
+* **locality decay** -- the share falls off with mesh distance
+  (nearest-neighbour algorithms like Nbody/MG halos).
+
+Each model here predicts a fraction vector given a source; fitting is
+linear least squares on the observed fractions with R-squared scoring,
+mirroring the SAS regression on the spatial data.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.goodness import r_squared
+
+
+class SpatialPattern(ABC):
+    """A named model of one source's destination fractions."""
+
+    name: str = "pattern"
+
+    @abstractmethod
+    def fractions(self, src: int, num_nodes: int) -> np.ndarray:
+        """Predicted fraction of ``src``'s messages to each node."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable parameterization."""
+
+    def sample_destination(
+        self, src: int, num_nodes: int, rng: np.random.Generator
+    ) -> int:
+        """Draw a destination according to the pattern."""
+        probs = self.fractions(src, num_nodes)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError(f"pattern predicts no traffic from source {src}")
+        return int(rng.choice(num_nodes, p=probs / total))
+
+
+class UniformPattern(SpatialPattern):
+    """Equal share to every node except the source itself."""
+
+    name = "uniform"
+
+    def __init__(self, include_self: bool = False) -> None:
+        self.include_self = include_self
+
+    def fractions(self, src: int, num_nodes: int) -> np.ndarray:
+        out = np.ones(num_nodes, dtype=float)
+        if not self.include_self:
+            if num_nodes < 2:
+                raise ValueError("uniform pattern needs >= 2 nodes when excluding self")
+            out[src] = 0.0
+        return out / out.sum()
+
+    def describe(self) -> str:
+        return "uniform" + (" (self included)" if self.include_self else "")
+
+
+class BimodalUniformPattern(SpatialPattern):
+    """Favorite-processor pattern: one node gets ``p_favorite`` of the
+    messages, the remaining share is spread equally over the others."""
+
+    name = "bimodal-uniform"
+
+    def __init__(self, favorite: int, p_favorite: float) -> None:
+        if not (0.0 < p_favorite <= 1.0):
+            raise ValueError(f"p_favorite must be in (0,1], got {p_favorite}")
+        self.favorite = int(favorite)
+        self.p_favorite = float(p_favorite)
+
+    def fractions(self, src: int, num_nodes: int) -> np.ndarray:
+        if not (0 <= self.favorite < num_nodes):
+            raise ValueError(f"favorite {self.favorite} outside {num_nodes}-node system")
+        out = np.zeros(num_nodes, dtype=float)
+        others = [n for n in range(num_nodes) if n != src and n != self.favorite]
+        if self.favorite == src:
+            # Degenerate: source is its own favorite; spread uniformly.
+            for n in others:
+                out[n] = 1.0 / len(others)
+            return out
+        out[self.favorite] = self.p_favorite
+        if others:
+            rest = (1.0 - self.p_favorite) / len(others)
+            for n in others:
+                out[n] = rest
+        return out
+
+    def describe(self) -> str:
+        return f"bimodal-uniform(favorite=p{self.favorite}, p={self.p_favorite:.3f})"
+
+
+class LocalityDecayPattern(SpatialPattern):
+    """Share decays exponentially with mesh hop distance:
+    ``P(d) proportional to exp(-decay * hops(src, d))``."""
+
+    name = "locality-decay"
+
+    def __init__(self, decay: float, width: int, height: int) -> None:
+        if decay < 0:
+            raise ValueError(f"decay must be >= 0, got {decay}")
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.decay = float(decay)
+        self.width = int(width)
+        self.height = int(height)
+
+    def _hops(self, a: int, b: int) -> int:
+        ax, ay = a % self.width, a // self.width
+        bx, by = b % self.width, b // self.width
+        return abs(ax - bx) + abs(ay - by)
+
+    def fractions(self, src: int, num_nodes: int) -> np.ndarray:
+        if num_nodes != self.width * self.height:
+            raise ValueError(
+                f"pattern built for {self.width * self.height} nodes, asked for {num_nodes}"
+            )
+        out = np.array(
+            [
+                0.0 if n == src else math.exp(-self.decay * self._hops(src, n))
+                for n in range(num_nodes)
+            ]
+        )
+        total = out.sum()
+        if total <= 0:
+            raise ValueError("locality pattern degenerate (no destinations)")
+        return out / total
+
+    def describe(self) -> str:
+        return f"locality-decay(decay={self.decay:.3f}, mesh={self.width}x{self.height})"
+
+
+class ButterflyPattern(SpatialPattern):
+    """Butterfly (XOR-partner) pattern: traffic only to ``src ^ 2^k``.
+
+    The signature of FFT-style algorithms -- each processor exchanges
+    with partners at XOR distances that are powers of two, with a
+    per-stage weight.  ``weights[k]`` is the fraction of traffic to
+    partner ``src ^ 2^k``.
+    """
+
+    name = "butterfly"
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = [float(w) for w in weights]
+        if not weights:
+            raise ValueError("butterfly needs at least one stage weight")
+        if any(w < 0 for w in weights):
+            raise ValueError(f"weights must be >= 0, got {weights}")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("butterfly weights must not all be zero")
+        self.weights = [w / total for w in weights]
+
+    def fractions(self, src: int, num_nodes: int) -> np.ndarray:
+        out = np.zeros(num_nodes, dtype=float)
+        for k, weight in enumerate(self.weights):
+            partner = src ^ (1 << k)
+            if partner >= num_nodes:
+                raise ValueError(
+                    f"butterfly stage {k} partner {partner} outside "
+                    f"{num_nodes}-node system"
+                )
+            out[partner] = weight
+        return out
+
+    def describe(self) -> str:
+        inner = ", ".join(f"2^{k}:{w:.2f}" for k, w in enumerate(self.weights))
+        return f"butterfly({inner})"
+
+
+@dataclass(frozen=True)
+class SpatialFit:
+    """Result of classifying one source's observed destination fractions."""
+
+    pattern: SpatialPattern
+    r2: float
+
+    @property
+    def name(self) -> str:
+        """Winning pattern's family name."""
+        return self.pattern.name
+
+    def describe(self) -> str:
+        """One-line report for experiment tables."""
+        return f"{self.pattern.describe()}  R2={self.r2:.4f}"
+
+
+def _fit_uniform(observed: np.ndarray, src: int) -> SpatialFit:
+    pattern = UniformPattern()
+    predicted = pattern.fractions(src, observed.size)
+    return SpatialFit(pattern=pattern, r2=r_squared(observed, predicted))
+
+
+def _fit_bimodal(observed: np.ndarray, src: int) -> Optional[SpatialFit]:
+    masked = observed.copy()
+    masked[src] = -1.0
+    favorite = int(np.argmax(masked))
+    p_favorite = float(observed[favorite])
+    if p_favorite <= 0.0:
+        return None
+    pattern = BimodalUniformPattern(favorite=favorite, p_favorite=min(p_favorite, 1.0))
+    predicted = pattern.fractions(src, observed.size)
+    return SpatialFit(pattern=pattern, r2=r_squared(observed, predicted))
+
+
+def _fit_butterfly(observed: np.ndarray, src: int) -> Optional[SpatialFit]:
+    num_nodes = observed.size
+    if num_nodes & (num_nodes - 1):
+        return None  # XOR partners only make sense for power-of-two systems
+    stages = num_nodes.bit_length() - 1
+    weights = [float(observed[src ^ (1 << k)]) for k in range(stages)]
+    if sum(weights) <= 0:
+        return None
+    pattern = ButterflyPattern(weights)
+    predicted = pattern.fractions(src, num_nodes)
+    return SpatialFit(pattern=pattern, r2=r_squared(observed, predicted))
+
+
+def _fit_locality(
+    observed: np.ndarray, src: int, width: int, height: int
+) -> Optional[SpatialFit]:
+    best: Optional[SpatialFit] = None
+    for decay in np.linspace(0.0, 4.0, 41):
+        pattern = LocalityDecayPattern(decay=float(decay), width=width, height=height)
+        try:
+            predicted = pattern.fractions(src, observed.size)
+        except ValueError:
+            return None
+        fit = SpatialFit(pattern=pattern, r2=r_squared(observed, predicted))
+        if best is None or fit.r2 > best.r2:
+            best = fit
+    return best
+
+
+#: A bimodal/locality fit must beat plain uniform by this margin to be
+#: preferred; this guards against calling near-uniform traffic
+#: "favorite processor" because of sampling noise.
+BIMODAL_PREFERENCE_MARGIN = 0.10
+
+
+def classify_spatial(
+    observed_fractions: np.ndarray,
+    src: int,
+    width: int,
+    height: int,
+) -> List[SpatialFit]:
+    """Rank the spatial models against one source's observed fractions.
+
+    Parameters
+    ----------
+    observed_fractions:
+        Length-``num_nodes`` vector summing to ~1 (or all zero if the
+        source sent nothing).
+    src:
+        Source node id (its own entry is expected to be ~0).
+    width, height:
+        Mesh geometry (used by the locality model).
+
+    Returns
+    -------
+    list of SpatialFit, best first.
+    """
+    observed = np.asarray(observed_fractions, dtype=float)
+    num_nodes = width * height
+    if observed.size != num_nodes:
+        raise ValueError(
+            f"expected {num_nodes} fractions for a {width}x{height} mesh, got {observed.size}"
+        )
+    if observed.sum() <= 0:
+        raise ValueError(f"source {src} sent no messages; nothing to classify")
+
+    # Built in preference order (simplest first); the sort below is
+    # stable, so ties go to the simpler model.
+    fits: List[SpatialFit] = [_fit_uniform(observed, src)]
+    bimodal = _fit_bimodal(observed, src)
+    if bimodal is not None:
+        fits.append(bimodal)
+    butterfly = _fit_butterfly(observed, src)
+    if butterfly is not None:
+        fits.append(butterfly)
+    locality = _fit_locality(observed, src, width, height)
+    if locality is not None:
+        fits.append(locality)
+
+    def sort_key(fit: SpatialFit) -> float:
+        # Richer models must clear a margin over plain uniform.
+        penalty = 0.0 if fit.name == "uniform" else BIMODAL_PREFERENCE_MARGIN
+        return fit.r2 - penalty
+
+    fits.sort(key=sort_key, reverse=True)
+    return fits

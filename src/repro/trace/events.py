@@ -1,0 +1,51 @@
+"""Application-level communication event records."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_event_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One traced communication event.
+
+    Mirrors the paper's trace/simulator input: "messages defined by
+    their source, destination, length and time since the last network
+    activity at the source."
+
+    Attributes
+    ----------
+    src, dst:
+        Rank/node ids.
+    length_bytes:
+        Message payload size.
+    kind:
+        What produced it ("p2p", "bcast", "reduce", "alltoall", ...).
+    tag:
+        Application tag (matching key).
+    post_time:
+        Absolute simulated time the send was posted.
+    gap:
+        Time since the previous event posted by the same source
+        (``post_time`` itself for a source's first event).
+    event_id:
+        Unique id, auto-assigned.
+    """
+
+    src: int
+    dst: int
+    length_bytes: int
+    kind: str
+    tag: int
+    post_time: float
+    gap: float
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def __post_init__(self) -> None:
+        if self.length_bytes < 0:
+            raise ValueError(f"length_bytes must be >= 0, got {self.length_bytes}")
+        if self.gap < 0:
+            raise ValueError(f"gap must be >= 0, got {self.gap}")

@@ -1,0 +1,105 @@
+"""Tests for the NAS message-passing applications (3D-FFT, MG)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.apps.mp.fft3d import FFT3DApp
+from repro.apps.mp.mg import MultigridApp, jacobi_sweep, residual_field
+
+
+def traffic_matrices(runtime, ranks=8):
+    counts = np.zeros((ranks, ranks))
+    volume = np.zeros((ranks, ranks))
+    for e in runtime.trace:
+        counts[e.src, e.dst] += 1
+        volume[e.src, e.dst] += e.length_bytes
+    return counts, volume
+
+
+class TestFFT3D:
+    def test_matches_numpy_fftn(self):
+        FFT3DApp(n=8).run(num_ranks=8)
+
+    def test_spatial_distribution_uniform(self):
+        app = FFT3DApp(n=16)
+        runtime = app.run(num_ranks=8)
+        counts, _ = traffic_matrices(runtime)
+        for src in range(8):
+            fracs = counts[src] / counts[src].sum()
+            others = np.delete(fracs, src)
+            assert np.allclose(others, 1.0 / 7, atol=1e-9)
+
+    def test_equal_block_sizes(self):
+        app = FFT3DApp(n=16)
+        runtime = app.run(num_ranks=8)
+        sizes = {e.length_bytes for e in runtime.trace}
+        assert len(sizes) == 1  # perfectly balanced personalized blocks
+
+    def test_rejects_indivisible_n(self):
+        app = FFT3DApp(n=4)
+        with pytest.raises(ValueError):
+            app.run(num_ranks=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FFT3DApp(n=1)
+
+
+class TestMultigridNumerics:
+    def test_jacobi_reduces_residual_serial(self):
+        rng = np.random.default_rng(0)
+        n = 16
+        h = 1.0 / n
+        f = np.zeros((n + 2, n + 2, n + 2))
+        f[1:-1, 1:-1, 1:-1] = rng.standard_normal((n, n, n))
+        u = np.zeros_like(f)
+        r0 = np.linalg.norm(residual_field(u, f, h))
+        for _ in range(50):
+            u = jacobi_sweep(u, f, h)
+        r1 = np.linalg.norm(residual_field(u, f, h))
+        assert r1 < r0 * 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultigridApp(n=12)  # not a power of two
+        with pytest.raises(ValueError):
+            MultigridApp(n=32, cycles=0)
+
+
+class TestMultigridRun:
+    @pytest.fixture(scope="class")
+    def mg_runtime(self):
+        app = MultigridApp(n=16, cycles=2)
+        runtime = app.run(num_ranks=8)
+        return app, runtime
+
+    def test_residual_reduction(self, mg_runtime):
+        app, _ = mg_runtime
+        assert app.final_residual < app.initial_residual * app.required_reduction
+
+    def test_p0_is_count_favorite(self, mg_runtime):
+        _, runtime = mg_runtime
+        counts, _ = traffic_matrices(runtime)
+        for src in range(1, 8):
+            fracs = counts[src] / counts[src].sum()
+            assert np.argmax(fracs) == 0, f"rank {src}'s count favorite is not p0"
+
+    def test_volume_goes_to_halo_neighbors(self, mg_runtime):
+        _, runtime = mg_runtime
+        _, volume = traffic_matrices(runtime)
+        for src in range(1, 7):
+            fracs = volume[src] / volume[src].sum()
+            neighbors = fracs[src - 1] + fracs[src + 1]
+            assert neighbors > 0.8, f"rank {src}'s volume is not halo-dominated"
+
+    def test_message_kinds_present(self, mg_runtime):
+        _, runtime = mg_runtime
+        kinds = {e.kind for e in runtime.trace}
+        assert {"halo", "reduce", "bcast", "gather"} <= kinds
+
+
+class TestRegistryMP:
+    def test_create_mp_apps(self):
+        assert isinstance(create_app("3d-fft", n=8), FFT3DApp)
+        assert isinstance(create_app("mg", n=16), MultigridApp)

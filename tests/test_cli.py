@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_mesh, _parse_params, main
+
+
+class TestParamParsing:
+    def test_types_inferred(self):
+        params = _parse_params(["n=256", "density=0.2", "mode=fast"])
+        assert params == {"n": 256, "density": 0.2, "mode": "fast"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_params(["n256"])
+
+
+class TestMeshParsing:
+    def test_simple(self):
+        config = _parse_mesh("4x2")
+        assert (config.width, config.height, config.topology) == (4, 2, "mesh")
+
+    def test_with_topology(self):
+        config = _parse_mesh("4x2:torus")
+        assert config.topology == "torus"
+        assert config.virtual_channels == 2
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            _parse_mesh("4by2")
+
+
+class TestCommands:
+    def test_apps_lists_suite(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("1d-fft", "is", "cholesky", "nbody", "maxflow", "3d-fft", "mg"):
+            assert name in out
+
+    def test_characterize_shared_memory(self, capsys, tmp_path):
+        log_path = str(tmp_path / "log.csv")
+        code = main(
+            ["characterize", "1d-fft", "--param", "n=64", "--log-csv", log_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== 1d-fft (dynamic, 8 nodes) ===" in out
+        assert "spatial:" in out
+        with open(log_path) as handle:
+            assert "msg_id" in handle.readline()
+
+    def test_characterize_message_passing(self, capsys):
+        assert main(["characterize", "3d-fft", "--param", "n=8"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+
+    def test_characterize_on_torus(self, capsys):
+        assert main(
+            ["characterize", "1d-fft", "--param", "n=64", "--mesh", "4x2:torus"]
+        ) == 0
+
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "1d-fft", "--param", "n=64", "--messages", "60", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "acceptable:" in out
+        assert code in (0, 1)
+
+    def test_sp2_model(self, capsys):
+        assert main(["sp2-model", "0", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "73.42" in out
+
+    def test_unknown_app_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "quicksort"])
+
+    def test_bad_param_reports_error(self, capsys):
+        code = main(["characterize", "1d-fft", "--param", "oops"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_app_param_reports_error(self, capsys):
+        # Valid syntax, invalid value for the app (not power of two).
+        code = main(["characterize", "1d-fft", "--param", "n=100"])
+        assert code == 2

@@ -1,0 +1,194 @@
+"""Unit tests for cache, directory, block map and protocol vocabulary."""
+
+import pytest
+
+from repro.coherence import (
+    BlockMap,
+    Cache,
+    CacheState,
+    CoherenceConfig,
+    Directory,
+    DirectoryState,
+    MessageKind,
+)
+from repro.coherence.protocol import CONTROL_KINDS, DATA_KINDS, payload_bytes
+
+
+class TestBlockMap:
+    def test_block_of(self):
+        bm = BlockMap(block_words=8, num_nodes=4)
+        assert bm.block_of(0) == 0
+        assert bm.block_of(7) == 0
+        assert bm.block_of(8) == 1
+
+    def test_home_interleaving(self):
+        bm = BlockMap(block_words=8, num_nodes=4)
+        assert [bm.home_of(b) for b in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_home_of_address(self):
+        bm = BlockMap(block_words=4, num_nodes=2)
+        assert bm.home_of_address(0) == 0
+        assert bm.home_of_address(4) == 1
+        assert bm.home_of_address(8) == 0
+
+    def test_block_range(self):
+        bm = BlockMap(block_words=8, num_nodes=4)
+        assert bm.block_range(2) == (16, 24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockMap(0, 4)
+        with pytest.raises(ValueError):
+            BlockMap(8, 0)
+        bm = BlockMap(8, 4)
+        with pytest.raises(ValueError):
+            bm.block_of(-1)
+        with pytest.raises(ValueError):
+            bm.home_of(-1)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(lines=8, associativity=2)
+        assert cache.lookup(5) is None
+        cache.insert(5, CacheState.SHARED)
+        assert cache.lookup(5) is CacheState.SHARED
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache(lines=4, associativity=2)  # 2 sets
+        # Blocks 0, 2, 4 all map to set 0.
+        cache.insert(0, CacheState.SHARED)
+        cache.insert(2, CacheState.SHARED)
+        cache.lookup(0)  # touch 0 so 2 is LRU
+        victim = cache.insert(4, CacheState.SHARED)
+        assert victim is not None and victim.block == 2
+        assert cache.peek(0) is CacheState.SHARED
+        assert cache.peek(2) is None
+
+    def test_insert_existing_updates_state(self):
+        cache = Cache(lines=4, associativity=2)
+        cache.insert(1, CacheState.SHARED)
+        victim = cache.insert(1, CacheState.MODIFIED)
+        assert victim is None
+        assert cache.peek(1) is CacheState.MODIFIED
+        assert cache.occupancy == 1
+
+    def test_invalidate(self):
+        cache = Cache(lines=4, associativity=2)
+        cache.insert(3, CacheState.MODIFIED)
+        assert cache.invalidate(3) is CacheState.MODIFIED
+        assert cache.invalidate(3) is None
+        assert cache.invalidations_received == 1
+
+    def test_downgrade(self):
+        cache = Cache(lines=4, associativity=2)
+        cache.insert(3, CacheState.MODIFIED)
+        assert cache.downgrade(3)
+        assert cache.peek(3) is CacheState.SHARED
+        assert not cache.downgrade(99)
+
+    def test_set_state_missing_raises(self):
+        cache = Cache(lines=4, associativity=2)
+        with pytest.raises(KeyError):
+            cache.set_state(9, CacheState.SHARED)
+
+    def test_hit_rate(self):
+        cache = Cache(lines=4, associativity=2)
+        cache.lookup(0)
+        cache.insert(0, CacheState.SHARED)
+        cache.lookup(0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(lines=0, associativity=1)
+        with pytest.raises(ValueError):
+            Cache(lines=4, associativity=8)
+        with pytest.raises(ValueError):
+            Cache(lines=6, associativity=4)
+
+
+class TestDirectory:
+    def test_fresh_entry_uncached(self):
+        d = Directory(0)
+        ent = d.entry(7)
+        assert ent.state is DirectoryState.UNCACHED
+        ent.validate()
+
+    def test_reader_transitions_to_shared(self):
+        d = Directory(0)
+        d.record_reader(1, reader=3)
+        d.record_reader(1, reader=5)
+        ent = d.entry(1)
+        assert ent.state is DirectoryState.SHARED
+        assert ent.sharers == {3, 5}
+        ent.validate()
+
+    def test_reader_on_exclusive_rejected(self):
+        d = Directory(0)
+        d.record_owner(1, owner=2)
+        with pytest.raises(ValueError):
+            d.record_reader(1, reader=3)
+
+    def test_owner_requires_no_sharers(self):
+        d = Directory(0)
+        d.record_reader(1, reader=3)
+        with pytest.raises(ValueError):
+            d.record_owner(1, owner=4)
+
+    def test_clear_sharers(self):
+        d = Directory(0)
+        d.record_reader(1, reader=3)
+        d.record_reader(1, reader=4)
+        assert d.clear_sharers(1) == {3, 4}
+        assert d.entry(1).state is DirectoryState.UNCACHED
+
+    def test_clear_owner(self):
+        d = Directory(0)
+        d.record_owner(1, owner=6)
+        assert d.clear_owner(1) == 6
+        assert d.entry(1).state is DirectoryState.UNCACHED
+
+    def test_drop_sharer(self):
+        d = Directory(0)
+        d.record_reader(1, reader=3)
+        d.record_reader(1, reader=4)
+        d.drop_sharer(1, 3)
+        assert d.entry(1).sharers == {4}
+        d.drop_sharer(1, 4)
+        assert d.entry(1).state is DirectoryState.UNCACHED
+
+    def test_tracked_blocks(self):
+        d = Directory(0)
+        d.entry(1)
+        d.entry(2)
+        assert d.tracked_blocks() == 2
+
+
+class TestProtocolVocabulary:
+    def test_kind_partition(self):
+        assert DATA_KINDS | CONTROL_KINDS == frozenset(MessageKind)
+        assert not (DATA_KINDS & CONTROL_KINDS)
+
+    def test_payload_bytes(self):
+        assert payload_bytes(MessageKind.DATA_REPLY, 8, 32) == 32
+        assert payload_bytes(MessageKind.READ_REQ, 8, 32) == 8
+        assert payload_bytes(MessageKind.BARRIER_ARRIVE, 8, 32) == 8
+
+
+class TestCoherenceConfig:
+    def test_derived_fields(self):
+        cfg = CoherenceConfig(block_words=8, word_bytes=4)
+        assert cfg.block_bytes == 32
+        assert cfg.cache_sets == cfg.cache_lines // cfg.associativity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoherenceConfig(block_words=0)
+        with pytest.raises(ValueError):
+            CoherenceConfig(associativity=0)
+        with pytest.raises(ValueError):
+            CoherenceConfig(cache_lines=10, associativity=4)
+        with pytest.raises(ValueError):
+            CoherenceConfig(memory_time=-1)

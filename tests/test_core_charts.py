@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.charts import bar_chart, histogram_chart, spatial_chart
+
+
+class TestBarChart:
+    def test_scales_to_width(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        chart = bar_chart(["a"], [1.0], title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+    def test_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestSpatialChart:
+    def test_renders_all_destinations(self):
+        fractions = np.array([0.0, 0.5, 0.25, 0.25])
+        chart = spatial_chart(fractions, src=0)
+        assert "p0" in chart and "p3" in chart
+        assert "spatial distribution of p0" in chart
+
+
+class TestHistogramChart:
+    def test_fitted_marker_present(self):
+        centers = np.array([1.0, 2.0, 3.0])
+        empirical = np.array([0.5, 0.3, 0.1])
+        fitted = np.array([0.45, 0.32, 0.12])
+        chart = histogram_chart(centers, empirical, fitted)
+        assert "*" in chart
+        assert "fitted" in chart
+
+    def test_without_fit(self):
+        chart = histogram_chart(np.array([1.0]), np.array([0.2]))
+        assert "*" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_chart(np.array([1.0]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            histogram_chart(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            histogram_chart(np.array([1.0]), np.array([0.1]), np.array([0.1, 0.2]))

@@ -1,0 +1,136 @@
+"""Tests for the classic synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    BitComplementTraffic,
+    BitReversalTraffic,
+    HotspotTraffic,
+    MeshConfig,
+    TransposeTraffic,
+    UniformTraffic,
+    drive_pattern,
+    make_pattern,
+)
+
+RNG = np.random.default_rng(9)
+
+
+class TestPermutationPatterns:
+    def test_bit_complement(self):
+        pattern = BitComplementTraffic(8)
+        assert pattern.destination(0, RNG) == 7
+        assert pattern.destination(3, RNG) == 4
+        assert pattern.destination(5, RNG) == 2
+
+    def test_bit_complement_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitComplementTraffic(6)
+
+    def test_bit_reversal(self):
+        pattern = BitReversalTraffic(8)
+        assert pattern.destination(0b001, RNG) == 0b100
+        assert pattern.destination(0b110, RNG) == 0b011
+        assert pattern.destination(0b111, RNG) == 0b111
+
+    def test_transpose(self):
+        pattern = TransposeTraffic(16)  # 4x4
+        # (1, 2) -> (2, 1): node 9 -> node 6.
+        assert pattern.destination(9, RNG) == 6
+        # Diagonal maps to itself.
+        assert pattern.destination(5, RNG) == 5
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            TransposeTraffic(8)
+
+    def test_permutations_are_bijections(self):
+        for pattern in (BitComplementTraffic(16), BitReversalTraffic(16),
+                        TransposeTraffic(16)):
+            dests = {pattern.destination(s, RNG) for s in range(16)}
+            assert dests == set(range(16)), pattern.name
+
+
+class TestProbabilisticPatterns:
+    def test_uniform_never_self(self):
+        pattern = UniformTraffic(8)
+        draws = [pattern.destination(3, RNG) for _ in range(500)]
+        assert 3 not in draws
+        assert set(draws) == set(range(8)) - {3}
+
+    def test_uniform_is_balanced(self):
+        pattern = UniformTraffic(8)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(8)
+        for _ in range(7000):
+            counts[pattern.destination(0, rng)] += 1
+        assert counts[0] == 0
+        assert counts[1:].std() < counts[1:].mean() * 0.15
+
+    def test_hotspot_concentration(self):
+        pattern = HotspotTraffic(8, hotspot=2, fraction=0.5)
+        rng = np.random.default_rng(2)
+        draws = [pattern.destination(0, rng) for _ in range(4000)]
+        hot_fraction = draws.count(2) / len(draws)
+        # 0.5 direct + ~1/7 of the uniform remainder.
+        assert hot_fraction == pytest.approx(0.5 + 0.5 / 7, abs=0.05)
+
+    def test_hotspot_source_is_hotspot(self):
+        pattern = HotspotTraffic(8, hotspot=2, fraction=0.5)
+        draws = [pattern.destination(2, RNG) for _ in range(200)]
+        assert 2 not in draws
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(8, hotspot=9)
+        with pytest.raises(ValueError):
+            HotspotTraffic(8, fraction=1.5)
+
+
+class TestFactoryAndHarness:
+    def test_make_pattern(self):
+        assert make_pattern("uniform", 8).name == "uniform"
+        assert make_pattern("hotspot", 8, fraction=0.2).fraction == 0.2
+        with pytest.raises(ValueError):
+            make_pattern("zipf", 8)
+
+    def test_drive_pattern_produces_log(self):
+        pattern = make_pattern("uniform", 8)
+        log = drive_pattern(pattern, MeshConfig(), messages_per_source=20, seed=5)
+        assert len(log) == 160
+        assert log.mean_latency() > 0
+
+    def test_transpose_skips_self_messages(self):
+        pattern = make_pattern("transpose", 16)
+        log = drive_pattern(
+            pattern, MeshConfig(width=4, height=4), messages_per_source=10
+        )
+        # Four diagonal nodes send nothing.
+        assert len(log) == (16 - 4) * 10
+        for record in log:
+            assert record.src != record.dst
+
+    def test_bit_complement_latency_exceeds_uniform(self):
+        # Bit-complement maximizes distance on the mesh.
+        config = MeshConfig(width=4, height=4)
+        uniform_log = drive_pattern(
+            make_pattern("uniform", 16), config, messages_per_source=30, seed=3
+        )
+        complement_log = drive_pattern(
+            make_pattern("bit-complement", 16), config, messages_per_source=30, seed=3
+        )
+        assert complement_log.mean_latency() > uniform_log.mean_latency()
+
+    def test_harness_validation(self):
+        pattern = make_pattern("uniform", 8)
+        with pytest.raises(ValueError):
+            drive_pattern(pattern, MeshConfig(), messages_per_source=0)
+        with pytest.raises(ValueError):
+            drive_pattern(pattern, MeshConfig(), mean_gap=0)
+        with pytest.raises(ValueError):
+            drive_pattern(pattern, MeshConfig(width=4, height=4))
+
+    def test_pattern_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            UniformTraffic(1)

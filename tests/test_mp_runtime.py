@@ -1,0 +1,247 @@
+"""Tests for the SP2 cost model, MPI-like runtime and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mp import MessagePassingRuntime, SP2Config
+from repro.mp.sp2 import SP2_ALPHA_US, SP2_BETA_US_PER_BYTE
+
+
+class TestSP2Config:
+    def test_software_overhead_matches_paper_model(self):
+        sp2 = SP2Config()
+        for x in (0, 1, 64, 1024, 65536):
+            assert sp2.software_overhead(x) == pytest.approx(
+                SP2_BETA_US_PER_BYTE * x + SP2_ALPHA_US
+            )
+
+    def test_end_to_end_includes_wire(self):
+        sp2 = SP2Config()
+        assert sp2.end_to_end(100) > sp2.software_overhead(100)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SP2Config().send_overhead(-1)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            SP2Config(sender_alpha=-1)
+        with pytest.raises(ValueError):
+            SP2Config(switch_bandwidth=0)
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+        got = []
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, {"x": 42}, nbytes=100)
+            else:
+                payload = yield from comm.recv(0)
+                got.append(payload)
+
+        runtime.run(body)
+        assert got == [{"x": 42}]
+
+    def test_recv_before_send_blocks(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+        times = []
+
+        def body(comm):
+            if comm.rank == 1:
+                payload = yield from comm.recv(0)
+                times.append((comm.now, payload))
+            else:
+                yield from comm.compute(500.0)
+                yield from comm.send(1, "late", nbytes=8)
+
+        runtime.run(body)
+        assert times[0][0] > 500.0
+        assert times[0][1] == "late"
+
+    def test_tag_matching(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+        got = []
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "a", nbytes=8, tag=1)
+                yield from comm.send(1, "b", nbytes=8, tag=2)
+            else:
+                second = yield from comm.recv(0, tag=2)
+                first = yield from comm.recv(0, tag=1)
+                got.append((first, second))
+
+        runtime.run(body)
+        assert got == [("a", "b")]
+
+    def test_message_cost_matches_model(self):
+        sp2 = SP2Config()
+        runtime = MessagePassingRuntime(num_ranks=2, sp2=sp2)
+        done = []
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, None, nbytes=1000)
+            else:
+                yield from comm.recv(0)
+                done.append(comm.now)
+
+        runtime.run(body)
+        assert done[0] == pytest.approx(sp2.end_to_end(1000))
+
+    def test_send_to_self_rejected(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(0, None, nbytes=8)
+
+        with pytest.raises(ValueError):
+            runtime.run(body)
+
+    def test_unmatched_recv_detected(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+
+        def body(comm):
+            if comm.rank == 1:
+                yield from comm.recv(0)
+
+        with pytest.raises(RuntimeError, match="never finished"):
+            runtime.run(body)
+
+    def test_trace_records_sends(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, None, nbytes=64, kind="halo")
+            else:
+                yield from comm.recv(0)
+
+        runtime.run(body)
+        assert len(runtime.trace) == 1
+        event = runtime.trace.events[0]
+        assert (event.src, event.dst, event.length_bytes, event.kind) == (0, 1, 64, "halo")
+
+
+class TestCollectives:
+    def run_collective(self, body, ranks=4):
+        runtime = MessagePassingRuntime(num_ranks=ranks)
+        runtime.run(body)
+        return runtime
+
+    def test_barrier_synchronizes(self):
+        after = []
+
+        def body(comm):
+            yield from comm.compute(comm.rank * 100.0)
+            yield from comm.barrier()
+            after.append(comm.now)
+
+        self.run_collective(body)
+        assert min(after) >= 300.0
+
+    def test_bcast_distributes_root_value(self):
+        got = []
+
+        def body(comm):
+            value = yield from comm.bcast(0, comm.rank * 10 if comm.rank == 0 else None, 8)
+            got.append(value)
+
+        self.run_collective(body)
+        assert got == [0, 0, 0, 0]
+
+    def test_reduce_sums_in_rank_order(self):
+        got = []
+
+        def body(comm):
+            result = yield from comm.reduce(0, comm.rank + 1, 8, lambda a, b: a + b)
+            if comm.rank == 0:
+                got.append(result)
+
+        self.run_collective(body)
+        assert got == [10]  # 1+2+3+4
+
+    def test_allreduce_gives_everyone_the_result(self):
+        got = []
+
+        def body(comm):
+            result = yield from comm.allreduce(comm.rank + 1, 8, lambda a, b: a + b)
+            got.append(result)
+
+        self.run_collective(body)
+        assert got == [10, 10, 10, 10]
+
+    def test_alltoall_exchanges_personalized_chunks(self):
+        got = {}
+
+        def body(comm):
+            chunks = [f"{comm.rank}->{q}" for q in range(comm.size)]
+            received = yield from comm.alltoall(chunks, 16)
+            got[comm.rank] = received
+
+        self.run_collective(body)
+        for rank, received in got.items():
+            assert received == [f"{q}->{rank}" for q in range(4)]
+
+    def test_alltoall_wrong_chunk_count(self):
+        def body(comm):
+            yield from comm.alltoall(["x"], 8)
+
+        runtime = MessagePassingRuntime(num_ranks=2)
+        with pytest.raises(ValueError):
+            runtime.run(body)
+
+    def test_gather_collects_at_root(self):
+        got = []
+
+        def body(comm):
+            values = yield from comm.gather(2, comm.rank * comm.rank, 8)
+            if comm.rank == 2:
+                got.append(values)
+
+        self.run_collective(body)
+        assert got == [[0, 1, 4, 9]]
+
+    def test_collective_traffic_is_root_centric(self):
+        def body(comm):
+            yield from comm.allreduce(1.0, 8, lambda a, b: a + b)
+
+        runtime = self.run_collective(body, ranks=8)
+        matrix = np.zeros((8, 8))
+        for e in runtime.trace:
+            matrix[e.src, e.dst] += 1
+        # Every non-root's messages go only to rank 0 and vice versa.
+        for r in range(1, 8):
+            assert matrix[r, 0] == 1
+            assert matrix[0, r] == 1
+            assert matrix[r, 1:].sum() == 0
+
+
+class TestRuntimeLifecycle:
+    def test_run_twice_rejected(self):
+        runtime = MessagePassingRuntime(num_ranks=2)
+
+        def body(comm):
+            return
+            yield  # pragma: no cover
+
+        runtime.run(body)
+        with pytest.raises(RuntimeError):
+            runtime.run(body)
+
+    def test_bad_rank_count(self):
+        with pytest.raises(ValueError):
+            MessagePassingRuntime(num_ranks=0)
+
+    def test_negative_compute_rejected(self):
+        runtime = MessagePassingRuntime(num_ranks=1)
+
+        def body(comm):
+            yield from comm.compute(-1.0)
+
+        with pytest.raises(ValueError):
+            runtime.run(body)

@@ -1,0 +1,182 @@
+"""Unit tests for the candidate distribution library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    Hyperexponential2,
+    Hypoexponential2,
+    Normal,
+    ShiftedExponential,
+    Uniform,
+    Weibull,
+    continuous_candidates,
+)
+
+RNG = np.random.default_rng(7)
+
+ALL_FAMILIES = [
+    Exponential(rate=0.5),
+    ShiftedExponential(shift=2.0, rate=1.0),
+    Erlang(k=3, rate=1.5),
+    Gamma(shape=2.5, scale=3.0),
+    Weibull(shape=1.7, scale=4.0),
+    Normal(mu=10.0, sigma=2.0),
+    Uniform(low=1.0, width=5.0),
+    Hyperexponential2(p=0.3, rate1=2.0, rate2=0.2),
+    Hypoexponential2(rate1=1.0, rate2=3.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_FAMILIES, ids=lambda d: d.name)
+class TestDistributionInterface:
+    def test_pdf_nonnegative(self, dist):
+        x = np.linspace(-5, 50, 300)
+        assert (dist.pdf(x) >= 0).all()
+
+    def test_cdf_monotone_and_bounded(self, dist):
+        x = np.linspace(-5, 200, 500)
+        cdf = dist.cdf(x)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf.min() >= -1e-12 and cdf.max() <= 1 + 1e-12
+
+    def test_pdf_integrates_to_one(self, dist):
+        # Integrate over a wide support numerically.
+        hi = dist.mean() + 12 * dist.std() + 10
+        x = np.linspace(1e-9 if dist.mean() > 0 else -hi, hi, 40000)
+        integral = np.trapezoid(dist.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=2e-2)
+
+    def test_sample_moments_match_analytic(self, dist):
+        sample = dist.sample(np.random.default_rng(42), 200_000)
+        assert float(np.mean(sample)) == pytest.approx(dist.mean(), rel=0.03)
+        assert float(np.var(sample)) == pytest.approx(dist.variance(), rel=0.08)
+
+    def test_unconstrained_roundtrip(self, dist):
+        vec = dist.to_unconstrained()
+        rebuilt = dist.from_unconstrained(vec)
+        for key, value in dist.params().items():
+            assert rebuilt.params()[key] == pytest.approx(value, rel=1e-6)
+
+    def test_initial_guess_mean_close(self, dist):
+        sample = dist.sample(np.random.default_rng(3), 50_000)
+        guess = type(dist).initial_guess(sample)
+        assert guess.mean() == pytest.approx(float(np.mean(sample)), rel=0.25)
+
+    def test_describe_mentions_name(self, dist):
+        assert dist.name in dist.describe()
+
+
+class TestValidation:
+    def test_exponential_bad_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=0.0)
+
+    def test_shifted_exponential_bad_shift(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(shift=-1.0, rate=1.0)
+
+    def test_erlang_bad_k(self):
+        with pytest.raises(ValueError):
+            Erlang(k=0, rate=1.0)
+
+    def test_gamma_bad_params(self):
+        with pytest.raises(ValueError):
+            Gamma(shape=-1.0, scale=1.0)
+
+    def test_weibull_bad_params(self):
+        with pytest.raises(ValueError):
+            Weibull(shape=1.0, scale=0.0)
+
+    def test_normal_bad_sigma(self):
+        with pytest.raises(ValueError):
+            Normal(mu=0.0, sigma=0.0)
+
+    def test_uniform_bad_width(self):
+        with pytest.raises(ValueError):
+            Uniform(low=0.0, width=0.0)
+
+    def test_hyper_bad_p(self):
+        with pytest.raises(ValueError):
+            Hyperexponential2(p=1.5, rate1=1.0, rate2=2.0)
+
+    def test_hypo_bad_rates(self):
+        with pytest.raises(ValueError):
+            Hypoexponential2(rate1=0.0, rate2=1.0)
+
+    def test_deterministic_bad_value(self):
+        with pytest.raises(ValueError):
+            Deterministic(value=-1.0)
+
+
+class TestSpecifics:
+    def test_exponential_cv_is_one(self):
+        assert Exponential(rate=3.0).cv() == pytest.approx(1.0)
+
+    def test_hyperexponential_cv_above_one(self):
+        assert Hyperexponential2(p=0.2, rate1=5.0, rate2=0.1).cv() > 1.0
+
+    def test_hypoexponential_cv_below_one(self):
+        assert Hypoexponential2(rate1=1.0, rate2=2.0).cv() < 1.0
+
+    def test_erlang_equals_gamma_integer_shape(self):
+        erl = Erlang(k=4, rate=2.0)
+        gam = Gamma(shape=4.0, scale=0.5)
+        x = np.linspace(0.01, 10, 100)
+        np.testing.assert_allclose(erl.pdf(x), gam.pdf(x), rtol=1e-9)
+
+    def test_erlang_preserves_k_through_unconstrained(self):
+        erl = Erlang(k=5, rate=1.0)
+        rebuilt = erl.from_unconstrained(np.array([math.log(2.0)]))
+        assert rebuilt.k == 5
+        assert rebuilt.rate == pytest.approx(2.0)
+
+    def test_hypoexponential_near_equal_rates_nudged(self):
+        dist = Hypoexponential2(rate1=1.0, rate2=1.0)
+        x = np.linspace(0.01, 10, 50)
+        assert np.isfinite(dist.pdf(x)).all()
+
+    def test_deterministic_cdf_step(self):
+        dist = Deterministic(value=5.0)
+        assert dist.cdf(np.array([4.9]))[0] == 0.0
+        assert dist.cdf(np.array([5.0]))[0] == 1.0
+        assert dist.variance() == 0.0
+        assert (dist.sample(RNG, 10) == 5.0).all()
+
+    def test_uniform_high_property(self):
+        assert Uniform(low=2.0, width=3.0).high == 5.0
+
+    def test_shifted_exponential_support(self):
+        dist = ShiftedExponential(shift=3.0, rate=1.0)
+        assert dist.pdf(np.array([2.9]))[0] == 0.0
+        assert dist.pdf(np.array([3.1]))[0] > 0.0
+        assert (dist.sample(RNG, 100) >= 3.0).all()
+
+    def test_candidate_list_contents(self):
+        names = {family.name for family in continuous_candidates()}
+        assert {"exponential", "hyperexponential", "hypoexponential", "gamma",
+                "weibull", "normal", "uniform", "erlang", "shifted-exponential"} <= names
+
+
+@settings(max_examples=25, deadline=None)
+@given(rate=st.floats(0.01, 100.0))
+def test_exponential_mean_inverse_rate(rate):
+    assert Exponential(rate=rate).mean() == pytest.approx(1.0 / rate)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.floats(0.05, 0.95),
+    r1=st.floats(0.1, 10.0),
+    r2=st.floats(0.1, 10.0),
+)
+def test_hyperexponential_mean_formula(p, r1, r2):
+    dist = Hyperexponential2(p=p, rate1=r1, rate2=r2)
+    assert dist.mean() == pytest.approx(p / r1 + (1 - p) / r2)

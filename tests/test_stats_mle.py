@@ -1,0 +1,138 @@
+"""Tests for the MLE fitting extension and the new distribution families."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    Exponential,
+    Gamma,
+    Hyperexponential2,
+    Lognormal,
+    Pareto,
+    Weibull,
+    fit_distribution,
+    fit_mle,
+    fit_mle_best,
+    ks_statistic,
+)
+from repro.stats.mle import negative_log_likelihood
+
+
+class TestLognormal:
+    def test_moments(self):
+        dist = Lognormal(mu=1.0, sigma=0.5)
+        sample = dist.sample(np.random.default_rng(0), 200_000)
+        assert float(np.mean(sample)) == pytest.approx(dist.mean(), rel=0.02)
+        assert float(np.var(sample)) == pytest.approx(dist.variance(), rel=0.08)
+
+    def test_pdf_integrates_to_one(self):
+        dist = Lognormal(mu=0.0, sigma=1.0)
+        x = np.linspace(1e-9, 200, 200000)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-2)
+
+    def test_roundtrip(self):
+        dist = Lognormal(mu=-0.3, sigma=2.0)
+        rebuilt = Lognormal.from_unconstrained(dist.to_unconstrained())
+        assert rebuilt.mu == pytest.approx(dist.mu)
+        assert rebuilt.sigma == pytest.approx(dist.sigma)
+
+    def test_initial_guess_requires_positive(self):
+        with pytest.raises(ValueError):
+            Lognormal.initial_guess(np.array([-1.0, -2.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Lognormal(mu=0.0, sigma=0.0)
+
+
+class TestPareto:
+    def test_moments_when_defined(self):
+        dist = Pareto(shape=3.0, scale=2.0)
+        sample = dist.sample(np.random.default_rng(1), 300_000)
+        assert float(np.mean(sample)) == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_infinite_moments(self):
+        assert Pareto(shape=0.9, scale=1.0).mean() == float("inf")
+        assert Pareto(shape=1.5, scale=1.0).variance() == float("inf")
+
+    def test_support(self):
+        dist = Pareto(shape=2.0, scale=5.0)
+        assert dist.pdf(np.array([4.9]))[0] == 0.0
+        assert dist.pdf(np.array([5.1]))[0] > 0.0
+        assert (dist.sample(np.random.default_rng(2), 1000) >= 5.0).all()
+
+    def test_hill_initial_guess(self):
+        true = Pareto(shape=2.5, scale=1.0)
+        sample = true.sample(np.random.default_rng(3), 50_000)
+        guess = Pareto.initial_guess(sample)
+        assert guess.shape == pytest.approx(2.5, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pareto(shape=0.0, scale=1.0)
+
+
+class TestMLE:
+    def test_recovers_exponential_rate(self):
+        true = Exponential(rate=0.4)
+        sample = true.sample(np.random.default_rng(4), 20_000)
+        result = fit_mle(sample, Exponential)
+        assert result is not None
+        # Exponential MLE is 1/mean: recovery should be tight.
+        assert result.distribution.rate == pytest.approx(0.4, rel=0.03)
+        assert result.log_likelihood > -np.inf
+
+    def test_recovers_gamma(self):
+        true = Gamma(shape=3.0, scale=2.0)
+        sample = true.sample(np.random.default_rng(5), 20_000)
+        result = fit_mle(sample, Gamma)
+        assert result.distribution.mean() == pytest.approx(6.0, rel=0.05)
+        assert result.distribution.cv() == pytest.approx(true.cv(), rel=0.1)
+
+    def test_mle_beats_moment_guess_likelihood(self):
+        true = Weibull(shape=0.7, scale=5.0)
+        sample = true.sample(np.random.default_rng(6), 10_000)
+        start = Weibull.initial_guess(sample)
+        result = fit_mle(sample, Weibull)
+        assert negative_log_likelihood(result.distribution, sample) <= (
+            negative_log_likelihood(start, sample) + 1e-6
+        )
+
+    def test_best_selects_reasonable_family_on_heavy_tail(self):
+        true = Hyperexponential2(p=0.8, rate1=10.0, rate2=0.1)
+        sample = true.sample(np.random.default_rng(7), 20_000)
+        best = fit_mle_best(sample, [Exponential, Gamma, Weibull, Hyperexponential2])
+        assert best.distribution.name in ("hyperexponential", "gamma", "weibull")
+        assert best.distribution.cv() > 1.5
+        assert ks_statistic(sample, best.distribution) < 0.05
+
+    def test_aic_penalizes_parameters(self):
+        sample = Exponential(rate=1.0).sample(np.random.default_rng(8), 5_000)
+        exp_fit = fit_mle(sample, Exponential)
+        hyper_fit = fit_mle(sample, Hyperexponential2)
+        # On truly exponential data the 1-parameter family wins by AIC.
+        assert exp_fit.aic <= hyper_fit.aic + 2.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_mle(np.array([1.0]), Exponential)
+
+    def test_no_viable_family_rejected(self):
+        with pytest.raises(ValueError):
+            fit_mle_best(np.array([-5.0, -6.0, -7.0]), [Lognormal])
+
+    def test_describe(self):
+        sample = Exponential(rate=2.0).sample(np.random.default_rng(9), 2_000)
+        result = fit_mle(sample, Exponential)
+        assert "AIC=" in result.describe()
+
+
+class TestLognormalInDefaultCandidates:
+    def test_lognormal_recoverable_via_fit_distribution(self):
+        true = Lognormal(mu=2.0, sigma=0.8)
+        sample = true.sample(np.random.default_rng(10), 20_000)
+        results = fit_distribution(sample)
+        best = results[0]
+        # Lognormal or a flexible competitor must fit well.
+        assert best.r2 > 0.95
+        assert best.distribution.mean() == pytest.approx(true.mean(), rel=0.15)

@@ -1,0 +1,133 @@
+"""Tests for the discrete spatial pattern models and classifier."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    BimodalUniformPattern,
+    LocalityDecayPattern,
+    UniformPattern,
+    classify_spatial,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestUniformPattern:
+    def test_excludes_self(self):
+        pattern = UniformPattern()
+        fracs = pattern.fractions(src=2, num_nodes=8)
+        assert fracs[2] == 0.0
+        assert fracs.sum() == pytest.approx(1.0)
+        others = np.delete(fracs, 2)
+        assert np.allclose(others, 1.0 / 7)
+
+    def test_include_self(self):
+        pattern = UniformPattern(include_self=True)
+        fracs = pattern.fractions(src=0, num_nodes=4)
+        assert np.allclose(fracs, 0.25)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPattern().fractions(src=0, num_nodes=1)
+
+    def test_sample_destination_never_self(self):
+        pattern = UniformPattern()
+        draws = {pattern.sample_destination(0, 8, RNG) for _ in range(200)}
+        assert 0 not in draws
+        assert draws <= set(range(1, 8))
+
+
+class TestBimodalUniformPattern:
+    def test_favorite_gets_mass(self):
+        pattern = BimodalUniformPattern(favorite=3, p_favorite=0.6)
+        fracs = pattern.fractions(src=0, num_nodes=8)
+        assert fracs[3] == pytest.approx(0.6)
+        assert fracs[0] == 0.0
+        assert fracs.sum() == pytest.approx(1.0)
+        others = [fracs[i] for i in range(8) if i not in (0, 3)]
+        assert np.allclose(others, (1 - 0.6) / 6)
+
+    def test_source_is_favorite_degenerates_to_uniform(self):
+        pattern = BimodalUniformPattern(favorite=0, p_favorite=0.5)
+        fracs = pattern.fractions(src=0, num_nodes=4)
+        assert fracs[0] == 0.0
+        assert np.allclose(fracs[1:], 1.0 / 3)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            BimodalUniformPattern(favorite=0, p_favorite=0.0)
+
+    def test_favorite_out_of_range(self):
+        pattern = BimodalUniformPattern(favorite=9, p_favorite=0.5)
+        with pytest.raises(ValueError):
+            pattern.fractions(src=0, num_nodes=8)
+
+
+class TestLocalityDecayPattern:
+    def test_zero_decay_is_uniform(self):
+        pattern = LocalityDecayPattern(decay=0.0, width=4, height=2)
+        fracs = pattern.fractions(src=0, num_nodes=8)
+        assert np.allclose(np.delete(fracs, 0), 1.0 / 7)
+
+    def test_strong_decay_prefers_neighbors(self):
+        pattern = LocalityDecayPattern(decay=3.0, width=4, height=2)
+        fracs = pattern.fractions(src=0, num_nodes=8)
+        # Node 1 and node 4 are the 1-hop neighbours of node 0.
+        assert fracs[1] > fracs[2] > fracs[3]
+        assert fracs[4] > fracs[5]
+
+    def test_wrong_node_count_rejected(self):
+        pattern = LocalityDecayPattern(decay=1.0, width=4, height=2)
+        with pytest.raises(ValueError):
+            pattern.fractions(src=0, num_nodes=9)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            LocalityDecayPattern(decay=-1.0, width=2, height=2)
+
+
+class TestClassifier:
+    def test_classifies_uniform(self):
+        observed = UniformPattern().fractions(src=0, num_nodes=8)
+        fits = classify_spatial(observed, src=0, width=4, height=2)
+        assert fits[0].name == "uniform"
+        assert fits[0].r2 == pytest.approx(1.0)
+
+    def test_classifies_favorite_processor(self):
+        observed = BimodalUniformPattern(favorite=5, p_favorite=0.7).fractions(
+            src=0, num_nodes=8
+        )
+        fits = classify_spatial(observed, src=0, width=4, height=2)
+        assert fits[0].name == "bimodal-uniform"
+        assert fits[0].pattern.favorite == 5
+        assert fits[0].pattern.p_favorite == pytest.approx(0.7)
+        assert fits[0].r2 > 0.99
+
+    def test_classifies_locality(self):
+        observed = LocalityDecayPattern(decay=2.0, width=4, height=2).fractions(
+            src=0, num_nodes=8
+        )
+        fits = classify_spatial(observed, src=0, width=4, height=2)
+        assert fits[0].name == "locality-decay"
+        assert fits[0].r2 > 0.98
+
+    def test_noisy_uniform_not_called_bimodal(self):
+        rng = np.random.default_rng(99)
+        counts = rng.multinomial(500, UniformPattern().fractions(src=0, num_nodes=8))
+        observed = counts / counts.sum()
+        fits = classify_spatial(observed, src=0, width=4, height=2)
+        assert fits[0].name == "uniform"
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError):
+            classify_spatial(np.zeros(8), src=0, width=4, height=2)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classify_spatial(np.ones(6) / 6, src=0, width=4, height=2)
+
+    def test_describe_lines(self):
+        observed = UniformPattern().fractions(src=1, num_nodes=8)
+        fits = classify_spatial(observed, src=1, width=4, height=2)
+        assert "R2=" in fits[0].describe()
