@@ -8,12 +8,15 @@ benchmarks time the interesting stages.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Dict
 
 import pytest
 
 from repro import characterize_message_passing, characterize_shared_memory, create_app
 from repro.core.methodology import CharacterizationRun
+from repro.obs.report import report_from_run
 
 #: Problem sizes used by every experiment (paper-scale shapes,
 #: laptop-scale sizes; see EXPERIMENTS.md for the mapping).
@@ -32,20 +35,36 @@ MESSAGE_PASSING = ("3d-fft", "mg")
 
 
 class RunCache:
-    """Lazily characterizes applications, once per session."""
+    """Lazily characterizes applications, once per session.
+
+    Each pipeline run's wall time is kept; if the environment variable
+    ``REPRO_RUN_REPORT`` names a file, one run report per application is
+    appended there as JSONL -- the perf trajectory future PRs diff
+    against (see :mod:`repro.obs.report`).
+    """
 
     def __init__(self) -> None:
         self._runs: Dict[str, CharacterizationRun] = {}
+        self.wall_seconds: Dict[str, float] = {}
 
     def run(self, name: str) -> CharacterizationRun:
         cached = self._runs.get(name)
         if cached is None:
             app = create_app(name, **BENCH_PROBLEMS[name])
+            started = time.perf_counter()
             if name in SHARED_MEMORY:
                 cached = characterize_shared_memory(app)
             else:
                 cached = characterize_message_passing(app)
+            self.wall_seconds[name] = time.perf_counter() - started
             self._runs[name] = cached
+            trajectory = os.environ.get("REPRO_RUN_REPORT")
+            if trajectory:
+                report_from_run(
+                    cached,
+                    app_params=BENCH_PROBLEMS[name],
+                    wall_seconds=self.wall_seconds[name],
+                ).append_jsonl(trajectory)
         return cached
 
 

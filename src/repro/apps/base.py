@@ -62,10 +62,20 @@ class SharedMemoryApplication(ABC):
         self,
         mesh_config: Optional[MeshConfig] = None,
         coherence_config: Optional[CoherenceConfig] = None,
+        obs=None,
+        timeline=None,
     ) -> ExecutionDrivenSimulation:
-        """Execute the application end to end on a fresh machine."""
+        """Execute the application end to end on a fresh machine.
+
+        ``obs``/``timeline`` are forwarded to
+        :class:`ExecutionDrivenSimulation` (observability off when
+        omitted).
+        """
         sim = ExecutionDrivenSimulation(
-            mesh_config=mesh_config, coherence_config=coherence_config
+            mesh_config=mesh_config,
+            coherence_config=coherence_config,
+            obs=obs,
+            timeline=timeline,
         )
         self.build(sim)
         sim.run(self.thread_body)

@@ -7,19 +7,28 @@ Usage (via ``python -m repro``):
     $ python -m repro apps
     $ python -m repro characterize 1d-fft --param n=256 --mesh 4x2
     $ python -m repro characterize mg --param n=32 --param cycles=2
+    $ python -m repro characterize 1d-fft --param n=256 \
+          --metrics m.json --timeline t.json --report r.json
+    $ python -m repro metrics m.json
     $ python -m repro validate 1d-fft --messages 200
     $ python -m repro sp2-model 1024
 
 ``characterize`` runs the right strategy for the application (dynamic
 for shared memory, static for message passing), prints the
 three-attribute report, and can persist the network activity log as
-CSV for external analysis.
+CSV for external analysis.  ``--metrics`` turns on the observability
+layer and writes every counter/gauge/histogram/time-series to JSON;
+``--timeline`` writes a Chrome trace-event file loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; ``--report`` writes
+the machine-readable run report the benchmark suite also emits.
+``metrics`` summarizes a previously written metrics JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS, create_app
@@ -32,6 +41,13 @@ from repro.core import (
 from repro.core.report import spatial_table, temporal_table, volume_table
 from repro.mesh import MeshConfig
 from repro.mp.sp2 import SP2Config
+from repro.obs import (
+    MetricsRegistry,
+    TimelineRecorder,
+    load_metrics,
+    report_from_run,
+    summarize_metrics,
+)
 
 
 def _parse_params(entries: Sequence[str]) -> Dict[str, object]:
@@ -66,11 +82,21 @@ def _parse_mesh(spec: str) -> MeshConfig:
     return MeshConfig(width=width, height=height, topology=topology, virtual_channels=vcs)
 
 
-def _run_characterization(name: str, params: Dict[str, object], mesh: MeshConfig):
+def _run_characterization(
+    name: str,
+    params: Dict[str, object],
+    mesh: MeshConfig,
+    obs: Optional[MetricsRegistry] = None,
+    timeline: Optional[TimelineRecorder] = None,
+):
     app = create_app(name, **params)
     if name in SHARED_MEMORY_APPS:
-        return characterize_shared_memory(app, mesh_config=mesh)
-    return characterize_message_passing(app, mesh_config=mesh)
+        return characterize_shared_memory(
+            app, mesh_config=mesh, obs=obs, timeline=timeline
+        )
+    return characterize_message_passing(
+        app, mesh_config=mesh, obs=obs, timeline=timeline
+    )
 
 
 def cmd_apps(_: argparse.Namespace) -> int:
@@ -88,7 +114,12 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     """Run one application through the methodology and report."""
     params = _parse_params(args.param)
     mesh = _parse_mesh(args.mesh)
-    run = _run_characterization(args.app, params, mesh)
+    want_obs = bool(args.metrics or args.report)
+    obs = MetricsRegistry() if want_obs else None
+    timeline = TimelineRecorder() if args.timeline else None
+    started = time.perf_counter()
+    run = _run_characterization(args.app, params, mesh, obs=obs, timeline=timeline)
+    wall_seconds = time.perf_counter() - started
     characterization = run.characterization
     print(characterization.describe())
     print()
@@ -100,6 +131,28 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     if args.log_csv:
         run.log.write_csv(args.log_csv)
         print(f"\nactivity log written to {args.log_csv}")
+    if args.metrics:
+        obs.write_json(
+            args.metrics,
+            extra={"app": args.app, "mesh": args.mesh, "params": params},
+        )
+        print(f"metrics written to {args.metrics}")
+    if args.timeline:
+        timeline.write(args.timeline)
+        print(f"timeline written to {args.timeline} (load in ui.perfetto.dev)")
+    if args.report:
+        report = report_from_run(
+            run, app_params=params, wall_seconds=wall_seconds, metrics=run.metrics
+        )
+        report.write_json(args.report)
+        print(f"run report written to {args.report}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Summarize a metrics JSON written by ``characterize --metrics``."""
+    metrics = load_metrics(args.path)
+    print(summarize_metrics(metrics))
     return 0
 
 
@@ -150,8 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], help="application parameter key=value"
     )
     characterize.add_argument("--mesh", default="4x2", help="WxH[:topology] (default 4x2)")
-    characterize.add_argument("--log-csv", default=None, help="write the activity log here")
+    characterize.add_argument(
+        "--log-csv", default=None,
+        help="write the activity log here (.csv or .csv.gz)",
+    )
+    characterize.add_argument(
+        "--metrics", default=None,
+        help="enable observability and write the metrics JSON here",
+    )
+    characterize.add_argument(
+        "--timeline", default=None,
+        help="write a Chrome trace-event timeline here (Perfetto-loadable)",
+    )
+    characterize.add_argument(
+        "--report", default=None,
+        help="write the machine-readable run report JSON here",
+    )
     characterize.set_defaults(handler=cmd_characterize)
+
+    metrics = sub.add_parser(
+        "metrics", help="summarize a metrics JSON from characterize --metrics"
+    )
+    metrics.add_argument("path", help="metrics JSON file")
+    metrics.set_defaults(handler=cmd_metrics)
 
     validate = sub.add_parser(
         "validate", help="validate synthetic traffic against the original"
@@ -176,7 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

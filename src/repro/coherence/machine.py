@@ -27,6 +27,7 @@ from repro.coherence.directory import Directory, DirectoryState
 from repro.coherence.protocol import MessageKind, payload_bytes
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
+from repro.obs.registry import MetricsRegistry
 from repro.simkernel import Facility, Simulator, hold, release, request
 
 
@@ -49,10 +50,16 @@ class CCNUMAMachine:
         simulator: Simulator,
         network: MeshNetwork,
         config: Optional[CoherenceConfig] = None,
+        obs: Optional[MetricsRegistry] = None,
     ) -> None:
         self.simulator = simulator
         self.network = network
         self.config = config or CoherenceConfig()
+        self.obs = obs if obs is not None else simulator.obs
+        self._observed = self.obs.enabled
+        if self._observed:
+            self._m_dir_blocks = self.obs.time_series("coherence.directory_blocks")
+            self._msgs_since_sample = 0
         self.num_processors = network.config.num_nodes
         self.block_map = BlockMap(self.config.block_words, self.num_processors)
         self.caches = [
@@ -291,6 +298,15 @@ class CCNUMAMachine:
         ``local_time`` cycles, mirroring a CC-NUMA node servicing its
         own home memory.
         """
+        if self._observed:
+            self.obs.counter(f"coherence.msg.{kind.value}").inc()
+            self._msgs_since_sample += 1
+            if self._msgs_since_sample >= 64:
+                self._msgs_since_sample = 0
+                self._m_dir_blocks.sample(
+                    self.simulator.now,
+                    sum(d.tracked_blocks() for d in self.directories),
+                )
         if src == dst:
             self.local_messages += 1
             yield hold(self.config.local_time)
@@ -451,6 +467,24 @@ class CCNUMAMachine:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+    def finalize_metrics(self) -> None:
+        """Mirror the protocol transition counters into the metrics
+        registry and take a final directory-occupancy sample.
+
+        Called by the run harness at end of simulation; idempotent
+        (counters are brought up to the current tallies, not re-added).
+        """
+        if not self._observed:
+            return
+        for name, value in self.stats().items():
+            if name == "miss_rate":
+                continue
+            counter = self.obs.counter(f"coherence.{name}")
+            counter.inc(float(value) - counter.value)
+        self._m_dir_blocks.sample(
+            self.simulator.now, sum(d.tracked_blocks() for d in self.directories)
+        )
+
     def miss_rate(self) -> float:
         """Combined read+write miss rate over all accesses."""
         total = self.loads + self.stores

@@ -19,7 +19,7 @@ same 2-D network topology and log the network events").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.apps.base import MessagePassingApplication, SharedMemoryApplication
 from repro.coherence.config import CoherenceConfig
@@ -31,6 +31,8 @@ from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mp.sp2 import SP2Config
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TimelineRecorder
 from repro.simkernel import Simulator
 from repro.trace.log import TraceLog
 from repro.trace.replay import replay_trace
@@ -48,11 +50,15 @@ class CharacterizationRun:
         The network activity log it was derived from.
     trace:
         The application-level trace (static strategy only).
+    metrics:
+        Snapshot of the metrics registry (only when the pipeline ran
+        with observability enabled).
     """
 
     characterization: CommunicationCharacterization
     log: NetworkLog
     trace: Optional[TraceLog] = None
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
 
 
 def characterize_log(
@@ -78,10 +84,22 @@ def characterize_shared_memory(
     mesh_config: Optional[MeshConfig] = None,
     coherence_config: Optional[CoherenceConfig] = None,
     per_source_temporal: bool = False,
+    obs: Optional[MetricsRegistry] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> CharacterizationRun:
-    """Run the dynamic strategy on a shared-memory application."""
+    """Run the dynamic strategy on a shared-memory application.
+
+    Pass ``obs`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+    and/or ``timeline`` to observe the run; the returned run then
+    carries a ``metrics`` snapshot.
+    """
     mesh_config = mesh_config or MeshConfig()
-    sim = app.run(mesh_config=mesh_config, coherence_config=coherence_config)
+    sim = app.run(
+        mesh_config=mesh_config,
+        coherence_config=coherence_config,
+        obs=obs,
+        timeline=timeline,
+    )
     characterization = characterize_log(
         sim.log,
         mesh_config,
@@ -89,7 +107,11 @@ def characterize_shared_memory(
         strategy="dynamic",
         per_source_temporal=per_source_temporal,
     )
-    return CharacterizationRun(characterization=characterization, log=sim.log)
+    return CharacterizationRun(
+        characterization=characterization,
+        log=sim.log,
+        metrics=obs.as_dict() if obs is not None and obs.enabled else None,
+    )
 
 
 def characterize_message_passing(
@@ -99,15 +121,19 @@ def characterize_message_passing(
     replay_mode: str = "dependency",
     time_scale: float = 1.0,
     per_source_temporal: bool = False,
+    obs: Optional[MetricsRegistry] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> CharacterizationRun:
     """Run the static strategy on a message-passing application.
 
     The rank count equals the mesh's node count (each SP2 rank maps
-    onto one mesh node for the replay).
+    onto one mesh node for the replay).  ``obs`` observes both the SP2
+    run and the replay; ``timeline`` records the replay's network
+    activity.
     """
     mesh_config = mesh_config or MeshConfig()
-    runtime = app.run(num_ranks=mesh_config.num_nodes, sp2=sp2)
-    network = MeshNetwork(Simulator(), mesh_config)
+    runtime = app.run(num_ranks=mesh_config.num_nodes, sp2=sp2, obs=obs)
+    network = MeshNetwork(Simulator(obs=obs), mesh_config, timeline=timeline)
     log = replay_trace(runtime.trace, network, mode=replay_mode, time_scale=time_scale)
     characterization = characterize_log(
         log,
@@ -117,5 +143,8 @@ def characterize_message_passing(
         per_source_temporal=per_source_temporal,
     )
     return CharacterizationRun(
-        characterization=characterization, log=log, trace=runtime.trace
+        characterization=characterization,
+        log=log,
+        trace=runtime.trace,
+        metrics=obs.as_dict() if obs is not None and obs.enabled else None,
     )

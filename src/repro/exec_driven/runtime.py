@@ -17,6 +17,8 @@ from repro.exec_driven.thread_api import SharedArray, ThreadContext
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TimelineRecorder
 from repro.simkernel import Simulator
 
 ThreadBody = Callable[[ThreadContext], Generator]
@@ -32,6 +34,13 @@ class ExecutionDrivenSimulation:
         count (default 4x2 = 8 processors, the paper's configuration).
     coherence_config:
         Cache/protocol parameters.
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        given, the kernel, network and coherence engine all report
+        into it (default: observability off).
+    timeline:
+        Optional :class:`~repro.obs.timeline.TimelineRecorder` for
+        Chrome trace-event export of the run.
 
     Typical use::
 
@@ -51,11 +60,13 @@ class ExecutionDrivenSimulation:
         self,
         mesh_config: Optional[MeshConfig] = None,
         coherence_config: Optional[CoherenceConfig] = None,
+        obs: Optional[MetricsRegistry] = None,
+        timeline: Optional[TimelineRecorder] = None,
     ) -> None:
         self.mesh_config = mesh_config or MeshConfig()
         self.coherence_config = coherence_config or CoherenceConfig()
-        self.simulator = Simulator()
-        self.network = MeshNetwork(self.simulator, self.mesh_config)
+        self.simulator = Simulator(obs=obs)
+        self.network = MeshNetwork(self.simulator, self.mesh_config, timeline=timeline)
         self.machine = CCNUMAMachine(self.simulator, self.network, self.coherence_config)
         self.contexts = [
             ThreadContext(self.machine, pid)
@@ -129,6 +140,8 @@ class ExecutionDrivenSimulation:
         ]
         end_time = self.simulator.run(until=until)
         self.finished = True
+        self.network.finalize_metrics()
+        self.machine.finalize_metrics()
         stuck = [t.name for t in threads if not t.finished]
         if stuck and until is None:
             raise RuntimeError(

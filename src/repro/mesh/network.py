@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetLogRecord, NetworkLog
 from repro.mesh.packet import NetworkMessage
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import CHANNELS_PID, NULL_TIMELINE, TimelineRecorder
 from repro.simkernel import Facility, Mailbox, SimEvent, Simulator, hold, release, request
 
 DeliveryHandler = Callable[[NetworkMessage, NetLogRecord], None]
@@ -32,6 +34,12 @@ class MeshNetwork:
         The simulation kernel to run on.
     config:
         Mesh geometry and timing (see :class:`MeshConfig`).
+    obs:
+        Metrics registry; defaults to the simulator's own, so a
+        registry passed to :class:`Simulator` observes the network too.
+    timeline:
+        Chrome trace-event recorder receiving per-node message spans
+        and per-channel occupancy spans (default: disabled).
 
     Messages enter through :meth:`inject` (fire-and-forget, returns a
     completion :class:`SimEvent`) or :meth:`transfer` (a sub-generator
@@ -41,7 +49,17 @@ class MeshNetwork:
     delivery mailbox if one has been requested.
     """
 
-    def __init__(self, simulator: Simulator, config: MeshConfig) -> None:
+    #: Sample per-channel utilization/queue series every this many
+    #: deliveries (per-channel sampling is O(channels)).
+    CHANNEL_SAMPLE_INTERVAL = 32
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: MeshConfig,
+        obs: Optional[MetricsRegistry] = None,
+        timeline: Optional[TimelineRecorder] = None,
+    ) -> None:
         self.simulator = simulator
         self.config = config
         self.topology = config.make_topology()
@@ -64,6 +82,30 @@ class MeshNetwork:
         self.total_injected = 0
         self.total_delivered = 0
         self.adaptive_yx_taken = 0
+        self.obs = obs if obs is not None else simulator.obs
+        self.timeline = timeline if timeline is not None else NULL_TIMELINE
+        self._observed = self.obs.enabled
+        if self._observed:
+            self._m_injected = self.obs.counter("net.injected")
+            self._m_delivered = self.obs.counter("net.delivered")
+            self._m_in_flight = self.obs.gauge("net.in_flight")
+            self._m_latency = self.obs.histogram("net.latency")
+            self._m_contention = self.obs.histogram("net.contention")
+            self._m_hops = self.obs.histogram("net.hops")
+            self._m_hop_wait = self.obs.histogram("net.hop_wait")
+            self._m_in_flight_series = self.obs.time_series("net.in_flight.series")
+            self._m_mean_util = self.obs.time_series("net.mean_channel_utilization")
+            self._m_max_util = self.obs.time_series("net.max_channel_utilization")
+            self._deliveries_since_sample = 0
+        if self.timeline.enabled:
+            for node in range(config.num_nodes):
+                self.timeline.name_process(node, f"node {node}")
+            self.timeline.name_process(CHANNELS_PID, "network channels")
+            # Stable thread id per directed physical channel.
+            self._channel_tids: Dict[Tuple[int, int], int] = {}
+            for tid, (u, v) in enumerate(sorted(self.topology.channels())):
+                self._channel_tids[(u, v)] = tid
+                self.timeline.name_thread(CHANNELS_PID, tid, f"ch {u}->{v}")
 
     # ------------------------------------------------------------------
     # wiring
@@ -121,12 +163,20 @@ class MeshNetwork:
         cfg = self.config
         self._check_node(message.src)
         self._check_node(message.dst)
+        observed = self._observed
+        timeline_on = self.timeline.enabled
         self._in_flight += 1
         self.total_injected += 1
+        if observed:
+            self._m_injected.inc()
+            self._m_in_flight.set(self._in_flight)
         inject_time = self.simulator.now
         contention = 0.0
         path = self._select_route(message)
         acquired: List[Facility] = []
+        # (channel key, acquire time) pairs for the timeline's per-
+        # channel occupancy spans (wormhole: held until the tail drains).
+        channel_spans: List[Tuple[Tuple[int, int], float]] = []
 
         # Source NI: serializes messages leaving the same node.
         inj = self._injection[message.src]
@@ -147,7 +197,12 @@ class MeshNetwork:
             channel = self._channels[(hop.src, hop.dst, lane)]
             t0 = self.simulator.now
             yield request(channel)
-            contention += self.simulator.now - t0
+            hop_wait = self.simulator.now - t0
+            contention += hop_wait
+            if observed:
+                self._m_hop_wait.observe(hop_wait)
+            if timeline_on:
+                channel_spans.append(((hop.src, hop.dst), self.simulator.now))
             acquired.append(channel)
             yield hold(cfg.routing_time + cfg.channel_time)
 
@@ -182,8 +237,62 @@ class MeshNetwork:
         self.log.add(record)
         self._in_flight -= 1
         self.total_delivered += 1
+        if observed:
+            self._m_delivered.inc()
+            self._m_in_flight.set(self._in_flight)
+            self._m_latency.observe(record.latency)
+            self._m_contention.observe(contention)
+            self._m_hops.observe(len(path))
+            self._deliveries_since_sample += 1
+            if self._deliveries_since_sample >= self.CHANNEL_SAMPLE_INTERVAL:
+                self._deliveries_since_sample = 0
+                self._sample_channels(self.simulator.now)
+        if timeline_on:
+            now = self.simulator.now
+            self.timeline.complete(
+                name=f"{message.kind} -> {message.dst}",
+                category="message",
+                start=inject_time,
+                duration=now - inject_time,
+                pid=message.src,
+                tid=0,
+                args={
+                    "msg_id": message.msg_id,
+                    "bytes": message.length_bytes,
+                    "contention": contention,
+                    "hops": len(path),
+                },
+            )
+            for key, acquire_time in channel_spans:
+                self.timeline.complete(
+                    name=f"msg {message.msg_id}",
+                    category="channel",
+                    start=acquire_time,
+                    duration=now - acquire_time,
+                    pid=CHANNELS_PID,
+                    tid=self._channel_tids[key],
+                    args={"src": message.src, "dst": message.dst},
+                )
         self._deliver(message, record)
         return record
+
+    def _sample_channels(self, now: float) -> None:
+        """Record the per-channel utilization/queue-depth time series
+        plus the aggregate utilization series (obs enabled only)."""
+        utils = self.channel_utilizations()
+        if utils:
+            values = utils.values()
+            self._m_mean_util.sample(now, sum(values) / len(utils))
+            self._m_max_util.sample(now, max(values))
+        self._m_in_flight_series.sample(now, self._in_flight)
+        queue_depths: Dict[Tuple[int, int], int] = {}
+        for (u, v, _), facility in self._channels.items():
+            queue_depths[(u, v)] = queue_depths.get((u, v), 0) + facility.queue_length
+        for (u, v), util in utils.items():
+            self.obs.time_series(f"net.channel[{u}->{v}].utilization").sample(now, util)
+            self.obs.time_series(f"net.channel[{u}->{v}].queue_depth").sample(
+                now, queue_depths[(u, v)]
+            )
 
     def _select_route(self, message: NetworkMessage):
         """Pick the message's route (and pinned lanes).
@@ -217,6 +326,16 @@ class MeshNetwork:
         box = self._mailboxes.get(message.dst)
         if box is not None:
             box.put((message, record))
+
+    def finalize_metrics(self) -> None:
+        """Record one final sample of every channel series.
+
+        Called by the run harnesses at end of simulation so short runs
+        (fewer deliveries than the sampling interval) still export a
+        per-channel utilization point.
+        """
+        if self._observed:
+            self._sample_channels(self.simulator.now)
 
     @property
     def in_flight(self) -> int:

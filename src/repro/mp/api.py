@@ -78,6 +78,8 @@ class MPIContext:
         queue = self._inbox.get(key)
         if queue:
             payload, nbytes = queue.popleft()
+            if self.runtime._observed:
+                self.runtime._pending_changed(-1)
         else:
             event = SimEvent(self.runtime.simulator, name=f"recv[{self.rank}<{src}:{tag}]")
             self._waiting.setdefault(key, deque()).append(event)
@@ -144,3 +146,5 @@ class MPIContext:
             waiting.popleft().set((payload, nbytes))
         else:
             self._inbox.setdefault(key, deque()).append((payload, nbytes))
+            if self.runtime._observed:
+                self.runtime._pending_changed(+1)

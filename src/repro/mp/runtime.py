@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.mp.api import MPIContext
 from repro.mp.sp2 import SP2Config
+from repro.obs.registry import MetricsRegistry
 from repro.simkernel import Simulator, hold
 from repro.trace.log import TraceLog
 
@@ -33,22 +34,41 @@ class MessagePassingRuntime:
         self,
         num_ranks: int = 8,
         sp2: Optional[SP2Config] = None,
+        obs: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_ranks < 1:
             raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
         self.sp2 = sp2 or SP2Config()
-        self.simulator = Simulator()
+        self.simulator = Simulator(obs=obs)
+        self.obs = self.simulator.obs
         self.trace = TraceLog()
         self.contexts = [MPIContext(self, rank) for rank in range(num_ranks)]
         self.finished = False
         self.messages_sent = 0
+        self._observed = self.obs.enabled
+        self._pending = 0  # delivered but not yet received (all ranks)
+        if self._observed:
+            self._m_messages = self.obs.counter("mp.messages")
+            self._m_bytes = self.obs.counter("mp.bytes")
+            self._m_pending = self.obs.gauge("mp.pending_messages")
+            self._m_pending_series = self.obs.time_series("mp.pending_messages.series")
+
+    def _pending_changed(self, delta: int) -> None:
+        """Track the cross-rank count of delivered-but-unreceived
+        messages (called by :class:`MPIContext` when observed)."""
+        self._pending += delta
+        self._m_pending.set(self._pending)
+        self._m_pending_series.sample(self.simulator.now, self._pending)
 
     def _launch_wire(
         self, src: int, dst: int, payload: Any, nbytes: int, tag: int
     ) -> None:
         """Detached transit of one message through the SP2 switch."""
         self.messages_sent += 1
+        if self._observed:
+            self._m_messages.inc()
+            self._m_bytes.inc(nbytes)
 
         def wire():
             yield hold(self.sp2.wire_time(nbytes))

@@ -1,0 +1,68 @@
+"""Simulator-wide observability: metrics, time series, timelines.
+
+Three pieces:
+
+* :mod:`repro.obs.registry` -- the :class:`MetricsRegistry` every layer
+  reports into (counters, gauges, histograms, simulated-time series)
+  and its zero-overhead :data:`NULL_REGISTRY` used when observability
+  is off (the default);
+* :mod:`repro.obs.timeline` -- a Chrome trace-event recorder rendering
+  per-node message activity and per-channel occupancy as timeline spans
+  viewable in Perfetto / ``chrome://tracing``;
+* :mod:`repro.obs.report` -- the machine-readable run report shared by
+  the CLI and the benchmark suite (the perf trajectory format).
+
+Enabling it end to end::
+
+    from repro import characterize_shared_memory, create_app
+    from repro.obs import MetricsRegistry, TimelineRecorder
+
+    obs, timeline = MetricsRegistry(), TimelineRecorder()
+    run = characterize_shared_memory(
+        create_app("1d-fft", n=256), obs=obs, timeline=timeline
+    )
+    obs.write_json("metrics.json")
+    timeline.write("timeline.json")   # load in https://ui.perfetto.dev
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    TimeSeries,
+    load_metrics,
+    summarize_metrics,
+)
+from repro.obs.report import (
+    RunReport,
+    read_trajectory,
+    report_from_run,
+)
+from repro.obs.timeline import (
+    CHANNELS_PID,
+    NULL_TIMELINE,
+    NullTimeline,
+    TimelineRecorder,
+)
+
+__all__ = [
+    "CHANNELS_PID",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TIMELINE",
+    "NullRegistry",
+    "NullTimeline",
+    "RunReport",
+    "TimeSeries",
+    "TimelineRecorder",
+    "load_metrics",
+    "read_trajectory",
+    "report_from_run",
+    "summarize_metrics",
+]

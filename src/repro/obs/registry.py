@@ -1,0 +1,371 @@
+"""The metrics registry: counters, gauges, histograms, time series.
+
+Every simulator layer (kernel, mesh, coherence engine, MP runtime,
+trace replayer) reports into one :class:`MetricsRegistry`.  Metrics are
+recorded against *simulated* time, so a time series of event-queue
+depth or channel utilization lines up with the network activity log the
+characterization methodology analyzes.
+
+Observability is strictly opt-in.  The default registry everywhere is
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons:
+instrument lookups allocate nothing and updates fall through a single
+attribute access, so an uninstrumented run pays (almost) nothing.  Hot
+paths additionally guard their sampling loops with ``registry.enabled``
+so disabled runs skip even the call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count (messages injected, misses, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level that also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the level by ``delta``."""
+        self.set(self.value + delta)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value, "high_water": self.high_water}
+
+
+class Histogram:
+    """Streaming distribution summary over observed values.
+
+    Keeps O(1) state (count/sum/min/max/sum-of-squares) plus a fixed
+    geometric bucket ladder, so millions of observations cost no memory
+    growth -- important because instrumented runs observe per-message
+    quantities.
+    """
+
+    __slots__ = ("name", "count", "total", "sum_sq", "min", "max", "_bounds", "_buckets")
+
+    #: Default geometric bucket upper bounds (powers of 4 from 1).
+    DEFAULT_BOUNDS: Tuple[float, ...] = tuple(4.0 ** k for k in range(12))
+
+    def __init__(self, name: str, bounds: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._bounds: Tuple[float, ...] = tuple(bounds) if bounds else self.DEFAULT_BOUNDS
+        self._buckets = [0] * (len(self._bounds) + 1)  # +1 for overflow
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._buckets[i] += 1
+                return
+        self._buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["buckets"] = {
+                "le": list(self._bounds) + ["inf"],
+                "counts": list(self._buckets),
+            }
+        return out
+
+
+class TimeSeries:
+    """Samples of a quantity against the simulated clock.
+
+    To bound memory on long runs the series decimates itself once
+    ``max_samples`` is exceeded: every second sample is dropped and the
+    effective sampling stride doubles, so the series always spans the
+    whole run at progressively coarser resolution.
+    """
+
+    __slots__ = ("name", "times", "values", "max_samples", "_stride", "_skip")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.max_samples = max_samples
+        self._stride = 1  # keep every _stride'th offered sample
+        self._skip = 0
+
+    def sample(self, time: float, value: float) -> None:
+        """Offer one (simulated time, value) sample."""
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.times.append(time)
+        self.values.append(value)
+        if len(self.times) >= self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "time_series",
+            "samples": len(self.times),
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Creates and owns named instruments; exports them all as JSON.
+
+    Instrument getters are create-or-get, so instrumentation sites can
+    look instruments up by name without coordinating registration.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # instrument lookup (create-or-get)
+    # ------------------------------------------------------------------
+    def _claim(self, name: str, table: Dict[str, object]) -> None:
+        """Reject a name already used by an instrument of another type
+        (the JSON export is flat, so a collision would silently drop
+        one of the two)."""
+        for other in (self._counters, self._gauges, self._histograms, self._series):
+            if other is not table and name in other:
+                raise ValueError(
+                    f"metric name {name!r} already used by a different instrument type"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        inst = self._counters.get(name)
+        if inst is None:
+            self._claim(name, self._counters)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._claim(name, self._gauges)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, bounds: Optional[Iterable[float]] = None) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._claim(name, self._histograms)
+            inst = self._histograms[name] = Histogram(name, bounds=bounds)
+        return inst
+
+    def time_series(self, name: str, max_samples: int = 4096) -> TimeSeries:
+        """The time series called ``name`` (created on first use)."""
+        inst = self._series.get(name)
+        if inst is None:
+            self._claim(name, self._series)
+            inst = self._series[name] = TimeSeries(name, max_samples=max_samples)
+        return inst
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Sorted names of every instrument ever created."""
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+            + list(self._series)
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """All instruments as one JSON-serializable mapping."""
+        out: Dict[str, Dict[str, object]] = {}
+        for table in (self._counters, self._gauges, self._histograms, self._series):
+            for name, inst in table.items():
+                out[name] = inst.as_dict()
+        return out
+
+    def write_json(self, path: str, extra: Optional[Dict[str, object]] = None) -> None:
+        """Write ``{"metrics": {...}, **extra}`` to ``path``."""
+        payload: Dict[str, object] = {"metrics": self.as_dict()}
+        if extra:
+            payload.update(extra)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def add(self, delta: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullTimeSeries(TimeSeries):
+    __slots__ = ()
+
+    def sample(self, time: float, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared no-op instruments, empty export.
+
+    The zero-overhead contract: instrument getters return module-level
+    singletons (no allocation, no growth of the registry), updates are
+    no-ops, and ``enabled`` is False so hot paths can skip their
+    sampling blocks entirely.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+        self._null_series = _NullTimeSeries("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, bounds: Optional[Iterable[float]] = None) -> Histogram:
+        return self._null_histogram
+
+    def time_series(self, name: str, max_samples: int = 4096) -> TimeSeries:
+        return self._null_series
+
+
+#: Shared disabled registry used as the default everywhere.
+NULL_REGISTRY = NullRegistry()
+
+
+def load_metrics(path: str) -> Dict[str, Dict[str, object]]:
+    """Read the ``metrics`` mapping from a file written by
+    :meth:`MetricsRegistry.write_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path} is not a metrics JSON (no 'metrics' mapping)")
+    return metrics
+
+
+def summarize_metrics(metrics: Dict[str, Dict[str, object]]) -> str:
+    """Human-readable table of a metrics mapping (CLI ``metrics`` cmd)."""
+    if not metrics:
+        return "(no metrics recorded)"
+    lines = [f"{'name':<44} {'type':<12} {'summary'}"]
+    lines.append("-" * len(lines[0]))
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = str(entry.get("type", "?"))
+        if kind == "counter":
+            summary = f"{entry['value']:g}"
+        elif kind == "gauge":
+            summary = f"{entry['value']:g} (high-water {entry['high_water']:g})"
+        elif kind == "histogram":
+            count = entry.get("count", 0)
+            if count:
+                summary = (
+                    f"n={count} mean={entry['mean']:.4g} "
+                    f"min={entry['min']:.4g} max={entry['max']:.4g}"
+                )
+            else:
+                summary = "n=0"
+        elif kind == "time_series":
+            values = entry.get("values") or []
+            if values:
+                summary = (
+                    f"{entry['samples']} samples, last={values[-1]:.4g} "
+                    f"max={max(values):.4g}"
+                )
+            else:
+                summary = "0 samples"
+        else:
+            summary = "?"
+        lines.append(f"{name:<44} {kind:<12} {summary}")
+    return "\n".join(lines)

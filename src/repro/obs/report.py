@@ -1,0 +1,110 @@
+"""Machine-readable run reports (the perf trajectory format).
+
+One :class:`RunReport` captures everything needed to compare a run
+against past runs: what ran (app, params, mesh), how big it was
+(messages, bytes, simulated span), how long it took on the wall clock,
+and the metrics snapshot if observability was on.  The CLI writes one
+per ``characterize --report``; the benchmark suite appends one per
+cached pipeline run to a JSONL trajectory file, so successive PRs can
+diff performance without re-deriving a harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: Bumped when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """One run's machine-readable record."""
+
+    app: str
+    strategy: str
+    mesh: str
+    params: Dict[str, object] = field(default_factory=dict)
+    messages: int = 0
+    total_bytes: int = 0
+    sim_span: float = 0.0
+    mean_latency: float = 0.0
+    mean_contention: float = 0.0
+    wall_seconds: float = 0.0
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "app": self.app,
+            "strategy": self.strategy,
+            "mesh": self.mesh,
+            "params": self.params,
+            "messages": self.messages,
+            "total_bytes": self.total_bytes,
+            "sim_span": self.sim_span,
+            "mean_latency": self.mean_latency,
+            "mean_contention": self.mean_contention,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        if self.extra:
+            out["extra"] = self.extra
+        return out
+
+    def write_json(self, path: str) -> None:
+        """Write this report alone as a JSON object."""
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+
+    def append_jsonl(self, path: str) -> None:
+        """Append this report as one line of a JSONL trajectory file."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(json.dumps(self.as_dict(), sort_keys=True) + "\n")
+
+
+def report_from_run(
+    run,
+    app_params: Optional[Dict[str, object]] = None,
+    wall_seconds: float = 0.0,
+    metrics: Optional[Dict[str, Dict[str, object]]] = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from a
+    :class:`~repro.core.methodology.CharacterizationRun`."""
+    characterization = run.characterization
+    log = run.log
+    return RunReport(
+        app=characterization.app_name,
+        strategy=characterization.strategy,
+        mesh=f"{characterization.num_nodes} nodes",
+        params=dict(app_params or {}),
+        messages=len(log),
+        total_bytes=log.total_bytes(),
+        sim_span=log.span(),
+        mean_latency=log.mean_latency(),
+        mean_contention=log.mean_contention(),
+        wall_seconds=wall_seconds,
+        metrics=metrics,
+    )
+
+
+def read_trajectory(path: str) -> List[Dict[str, object]]:
+    """Read every report from a JSONL trajectory file."""
+    reports: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                reports.append(json.loads(line))
+    return reports

@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
 
 class SimulationError(RuntimeError):
     """Raised for malformed model behaviour (bad yields, double release,
@@ -96,6 +98,10 @@ class Process:
         self.error: Optional[BaseException] = None
         self._body = body
         self._waiters: List[Process] = []
+        # Per-process command tallies; only maintained when the owning
+        # simulator's metrics registry is enabled.
+        self.holds = 0
+        self.waits = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, {self.state.value})"
@@ -137,9 +143,17 @@ class Simulator:
     The event list is a binary heap keyed on ``(time, sequence)`` so
     that simultaneous events fire in deterministic FIFO order -- a
     property the network simulator's contention accounting relies on.
+
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` as ``obs`` to
+    record kernel metrics (events fired, processes created, hold/wait
+    counts, event-queue depth over simulated time).  The default is the
+    shared null registry, which costs one ``if`` per event.
     """
 
-    def __init__(self) -> None:
+    #: Sample the event-queue depth every this many fired events.
+    QUEUE_SAMPLE_INTERVAL = 64
+
+    def __init__(self, obs: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -147,6 +161,19 @@ class Simulator:
         self.current_process: Optional[Process] = None
         self._running = False
         self._stopped = False
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._observed = self.obs.enabled
+        if self._observed:
+            self._m_events = self.obs.counter("sim.events")
+            self._m_processes = self.obs.counter("sim.processes")
+            self._m_holds = self.obs.counter("sim.holds")
+            self._m_waits = self.obs.counter("sim.waits")
+            self._m_queue_depth = self.obs.time_series("sim.event_queue_depth")
+            self._m_active = self.obs.time_series("sim.active_processes")
+            self._m_holds_per_proc = self.obs.histogram("sim.holds_per_process")
+            self._m_waits_per_proc = self.obs.histogram("sim.waits_per_process")
+            self._m_hold_time = self.obs.histogram("sim.hold_duration")
+            self._events_since_sample = 0
 
     @property
     def now(self) -> float:
@@ -183,6 +210,8 @@ class Simulator:
         self._processes.append(proc)
         proc.state = ProcessState.RUNNABLE
         self.schedule(0.0, lambda: self._step(proc, None))
+        if self._observed:
+            self._m_processes.inc()
         return proc
 
     def stop(self) -> None:
@@ -196,6 +225,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        observed = self._observed
         try:
             while self._queue and not self._stopped:
                 when, _, callback = self._queue[0]
@@ -205,6 +235,13 @@ class Simulator:
                 heapq.heappop(self._queue)
                 self._now = when
                 callback()
+                if observed:
+                    self._m_events.inc()
+                    self._events_since_sample += 1
+                    if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
+                        self._events_since_sample = 0
+                        self._m_queue_depth.sample(self._now, len(self._queue))
+                        self._m_active.sample(self._now, self.active_process_count)
         finally:
             self._running = False
         if until is not None and not self._queue and self._now < until:
@@ -228,6 +265,9 @@ class Simulator:
         except StopIteration as stop_marker:
             proc.state = ProcessState.FINISHED
             proc.result = stop_marker.value
+            if self._observed:
+                self._m_holds_per_proc.observe(proc.holds)
+                self._m_waits_per_proc.observe(proc.waits)
             self._wake_joiners(proc)
             return
         except BaseException as exc:  # noqa: BLE001 - model errors must surface
@@ -249,9 +289,16 @@ class Simulator:
         handler = getattr(command, "_execute", None)
         if isinstance(command, Hold):
             proc.state = ProcessState.WAITING
+            if self._observed:
+                proc.holds += 1
+                self._m_holds.inc()
+                self._m_hold_time.observe(command.duration)
             self._schedule_step(proc, None, delay=command.duration)
         elif isinstance(command, Wait):
             proc.state = ProcessState.WAITING
+            if self._observed:
+                proc.waits += 1
+                self._m_waits.inc()
             command.event._add_waiter(proc)
         elif isinstance(command, Passivate):
             proc.state = ProcessState.WAITING

@@ -69,6 +69,12 @@ def profile_trace(trace: TraceLog, num_nodes: int) -> TraceProfile:
     matrix = np.zeros((num_nodes, num_nodes), dtype=int)
     gaps: List[float] = []
     for event in trace:
+        if event.src < 0 or event.dst < 0:
+            # Without this check a negative rank would silently index
+            # the destination matrix from the end.
+            raise ValueError(
+                f"event has negative rank (src={event.src}, dst={event.dst})"
+            )
         if event.src >= num_nodes or event.dst >= num_nodes:
             raise ValueError(
                 f"event touches rank {max(event.src, event.dst)} outside "

@@ -61,13 +61,30 @@ def replay_trace(
 
     simulator = network.simulator
 
+    obs = network.obs
+    observed = obs.enabled
+    if observed:
+        m_messages = obs.counter("replay.messages")
+        m_stall = obs.histogram("replay.stall")
+        m_stall_series = obs.time_series("replay.stall.series")
+
     if mode == "dependency":
         for src in trace.sources():
             events = trace.by_source(src)
 
             def source_process(events=events):
+                # The traced schedule for this source: cumulative gaps.
+                # How far injection lags behind it is the replay stall
+                # (the timeline stretch congestion causes).
+                expected = 0.0
                 for event in events:
                     yield hold(event.gap * time_scale)
+                    expected += event.gap * time_scale
+                    if observed:
+                        stall = max(simulator.now - expected, 0.0)
+                        m_messages.inc()
+                        m_stall.observe(stall)
+                        m_stall_series.sample(simulator.now, stall)
                     message = NetworkMessage(
                         src=event.src,
                         dst=event.dst,
@@ -87,6 +104,8 @@ def replay_trace(
             )
 
             def injector(message=message):
+                if observed:
+                    m_messages.inc()
                 yield from network.transfer(message)
 
             simulator.schedule(
@@ -97,4 +116,5 @@ def replay_trace(
             )
 
     simulator.run()
+    network.finalize_metrics()
     return network.log

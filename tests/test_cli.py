@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_mesh, _parse_params, main
@@ -85,3 +87,65 @@ class TestCommands:
         # Valid syntax, invalid value for the app (not power of two).
         code = main(["characterize", "1d-fft", "--param", "n=100"])
         assert code == 2
+
+
+class TestObservabilityCommands:
+    def test_metrics_flag_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "m.json")
+        assert main(
+            ["characterize", "1d-fft", "--param", "n=64", "--metrics", path]
+        ) == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["app"] == "1d-fft"
+        metrics = doc["metrics"]
+        assert metrics["sim.event_queue_depth"]["samples"] > 0
+        assert any(k.startswith("net.channel[") for k in metrics)
+        assert any(k.startswith("coherence.msg.") for k in metrics)
+        # The metrics subcommand summarises what characterize wrote.
+        capsys.readouterr()
+        assert main(["metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "net.injected" in out
+
+    def test_metrics_flag_static_strategy(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        assert main(
+            ["characterize", "3d-fft", "--param", "n=8", "--metrics", path]
+        ) == 0
+        with open(path) as handle:
+            metrics = json.load(handle)["metrics"]
+        assert metrics["mp.messages"]["value"] > 0
+        assert metrics["replay.stall"]["count"] > 0
+
+    def test_timeline_flag_writes_chrome_trace(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        assert main(
+            ["characterize", "1d-fft", "--param", "n=64", "--timeline", path]
+        ) == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        events = doc["traceEvents"]
+        assert events
+        assert all({"ph", "pid", "name"} <= set(e) for e in events)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_report_flag(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        assert main(
+            ["characterize", "1d-fft", "--param", "n=64", "--report", path]
+        ) == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == 1
+        assert doc["strategy"] == "dynamic"
+        assert doc["messages"] > 0
+        assert doc["wall_seconds"] > 0
+        assert "net.injected" in doc["metrics"]
+
+    def test_metrics_subcommand_rejects_bad_file(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"not": "metrics"}, handle)
+        assert main(["metrics", path]) == 2
+        assert "error:" in capsys.readouterr().err

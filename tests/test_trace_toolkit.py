@@ -70,6 +70,17 @@ class TestProfiler:
         with pytest.raises(ValueError):
             profile_trace(trace, num_nodes=4)
 
+    def test_profile_rejects_negative_src(self):
+        # Regression: src < 0 used to index the matrix from the end.
+        trace = build_trace([(-1, 2, 8, 1.0)])
+        with pytest.raises(ValueError, match="negative rank"):
+            profile_trace(trace, num_nodes=4)
+
+    def test_profile_rejects_negative_dst(self):
+        trace = build_trace([(0, -2, 8, 1.0)])
+        with pytest.raises(ValueError, match="negative rank"):
+            profile_trace(trace, num_nodes=4)
+
     def test_profile_empty_trace(self):
         profile = profile_trace(TraceLog(), num_nodes=4)
         assert profile.total_messages == 0
