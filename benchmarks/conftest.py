@@ -41,14 +41,43 @@ class RunCache:
     ``REPRO_RUN_REPORT`` names a file, one run report per application is
     appended there as JSONL -- the perf trajectory future PRs diff
     against (see :mod:`repro.obs.report`).
+
+    If ``REPRO_SWEEP_CACHE`` names a directory, whole characterization
+    runs are additionally persisted there through the sweep subsystem's
+    content-addressed cache (:mod:`repro.sweep.cache`), keyed by app,
+    problem size and code fingerprint -- so repeated benchmark sessions
+    on unchanged code skip the pipelines entirely.
     """
 
     def __init__(self) -> None:
         self._runs: Dict[str, CharacterizationRun] = {}
         self.wall_seconds: Dict[str, float] = {}
+        self.disk_hits = 0
+        cache_dir = os.environ.get("REPRO_SWEEP_CACHE")
+        if cache_dir:
+            from repro.sweep.cache import ResultCache
+
+            self._disk: "ResultCache | None" = ResultCache(cache_dir)
+        else:
+            self._disk = None
+
+    def _disk_key(self, name: str) -> str:
+        spec = {
+            "kind": "benchmark-characterization",
+            "app": name,
+            "params": BENCH_PROBLEMS[name],
+        }
+        return self._disk.key_for_doc(spec)
 
     def run(self, name: str) -> CharacterizationRun:
         cached = self._runs.get(name)
+        if cached is None and self._disk is not None:
+            from_disk = self._disk.get_pickle(self._disk_key(name))
+            if isinstance(from_disk, CharacterizationRun):
+                self._runs[name] = from_disk
+                self.wall_seconds[name] = 0.0
+                self.disk_hits += 1
+                return from_disk
         if cached is None:
             app = create_app(name, **BENCH_PROBLEMS[name])
             started = time.perf_counter()
@@ -58,6 +87,8 @@ class RunCache:
                 cached = characterize_message_passing(app)
             self.wall_seconds[name] = time.perf_counter() - started
             self._runs[name] = cached
+            if self._disk is not None:
+                self._disk.put_pickle(self._disk_key(name), cached)
             trajectory = os.environ.get("REPRO_RUN_REPORT")
             if trajectory:
                 report_from_run(

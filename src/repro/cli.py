@@ -12,6 +12,11 @@ Usage (via ``python -m repro``):
     $ python -m repro metrics m.json
     $ python -m repro validate 1d-fft --messages 200
     $ python -m repro sp2-model 1024
+    $ python -m repro sweep run --app 1d-fft --app is \
+          --mesh 4x2 --mesh 4x4:torus --rate-scale 1 --rate-scale 4 \
+          --jobs 4 --timeout 120
+    $ python -m repro sweep status --app 1d-fft --mesh 4x2
+    $ python -m repro sweep report sweep.json --value achieved_rate
 
 ``characterize`` runs the right strategy for the application (dynamic
 for shared memory, static for message passing), prints the
@@ -22,6 +27,12 @@ layer and writes every counter/gauge/histogram/time-series to JSON;
 (https://ui.perfetto.dev) or ``chrome://tracing``; ``--report`` writes
 the machine-readable run report the benchmark suite also emits.
 ``metrics`` summarizes a previously written metrics JSON.
+
+``sweep`` runs declarative experiment grids (app x mesh x protocol x
+rate-scale x seed) on a worker pool with per-cell timeouts, bounded
+retries and a content-addressed result cache — see
+:mod:`repro.sweep`.  ``sweep status`` shows cached vs pending cells;
+``sweep report`` re-renders a saved sweep report.
 """
 
 from __future__ import annotations
@@ -69,17 +80,13 @@ def _parse_params(entries: Sequence[str]) -> Dict[str, object]:
 
 
 def _parse_mesh(spec: str) -> MeshConfig:
-    """Turn ``"4x2"`` (optionally ``"4x2:torus"``) into a MeshConfig."""
-    topology = "mesh"
-    if ":" in spec:
-        spec, topology = spec.split(":", 1)
-    try:
-        width_text, height_text = spec.lower().split("x")
-        width, height = int(width_text), int(height_text)
-    except ValueError:
-        raise ValueError(f"--mesh expects WxH (e.g. 4x2), got {spec!r}") from None
-    vcs = 2 if topology == "torus" else 1
-    return MeshConfig(width=width, height=height, topology=topology, virtual_channels=vcs)
+    """Turn ``"4x2"`` (optionally ``"4x2:torus"``) into a MeshConfig.
+
+    Delegates to :meth:`MeshConfig.parse`, which rejects malformed
+    specs, non-positive dimensions (``"0x4"``) and unknown topology
+    suffixes with a spec-level message.
+    """
+    return MeshConfig.parse(spec)
 
 
 def _run_characterization(
@@ -171,6 +178,105 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.acceptable() else 1
 
 
+def _grid_from_args(args: argparse.Namespace):
+    """Build a GridSpec from ``--grid FILE`` or the inline axis flags."""
+    from repro.sweep import GridSpec, make_grid
+
+    if args.grid:
+        return GridSpec.from_json_file(args.grid)
+    if not args.app:
+        raise ValueError("sweep needs --grid FILE or at least one --app")
+    app_params: Dict[str, Dict[str, object]] = {}
+    for entry in args.param:
+        scope = None
+        key_part = entry.split("=", 1)[0]
+        if ":" in key_part:
+            scope, entry = entry.split(":", 1)
+            if scope not in args.app:
+                raise ValueError(
+                    f"--param scope {scope!r} is not one of the swept apps {args.app}"
+                )
+        parsed = _parse_params([entry])
+        for app in [scope] if scope else args.app:
+            app_params.setdefault(app, {}).update(parsed)
+    from repro.sweep.grid import DEFAULT_APP_PARAMS
+
+    for app, overrides in app_params.items():
+        merged = dict(DEFAULT_APP_PARAMS.get(app, {}))
+        merged.update(overrides)
+        app_params[app] = merged
+    return make_grid(
+        apps=args.app,
+        app_params=app_params or None,
+        meshes=args.mesh or ("4x2",),
+        protocols=args.protocol or ("invalidate",),
+        rate_scales=args.rate_scale or (1.0,),
+        seeds=args.seed or (0,),
+        messages_per_source=args.messages,
+    )
+
+
+def _sweep_cache(args: argparse.Namespace):
+    from repro.sweep import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Run an experiment grid on a worker pool, cache-backed."""
+    from repro.sweep import run_sweep
+
+    grid = _grid_from_args(args)
+    cache = _sweep_cache(args)
+
+    def progress(row: Dict[str, object], done: int, total: int) -> None:
+        from repro.sweep import CellSpec
+
+        spec = CellSpec.from_dict(row["cell"])
+        if row["status"] == "ok":
+            tag = "cached" if row["cached"] else "ok"
+        else:
+            tag = row["status"]
+        print(f"[{done}/{total}] {tag:>7} {spec.cell_id}", flush=True)
+
+    result = run_sweep(
+        grid,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        cell_fn=None,
+        on_progress=progress,
+    )
+    print()
+    print(result.describe(value=args.value))
+    if args.report:
+        result.write_json(args.report)
+        print(f"\nsweep report written to {args.report}")
+    return 0 if not result.failures else 1
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Show which cells of a grid are cached vs pending."""
+    from repro.sweep import ResultCache, describe_status, sweep_status
+
+    grid = _grid_from_args(args)
+    status = sweep_status(grid, ResultCache(args.cache_dir))
+    print(describe_status(status))
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    """Summarize a sweep report JSON written by ``sweep run --report``."""
+    from repro.sweep import SweepResult
+
+    result = SweepResult.read_json(args.path)
+    print(result.describe(value=args.value))
+    return 0
+
+
 def cmd_sp2_model(args: argparse.Namespace) -> int:
     """Print the SP2 software-overhead model at given sizes."""
     sp2 = SP2Config()
@@ -240,6 +346,89 @@ def build_parser() -> argparse.ArgumentParser:
     sp2 = sub.add_parser("sp2-model", help="print the SP2 overhead model")
     sp2.add_argument("bytes", nargs="+", type=int)
     sp2.set_defaults(handler=cmd_sp2_model)
+
+    sweep = sub.add_parser(
+        "sweep", help="run experiment grids in parallel with result caching"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_grid_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--grid", default=None, help="grid spec JSON file")
+        p.add_argument(
+            "--app", action="append", default=[],
+            choices=SHARED_MEMORY_APPS + MESSAGE_PASSING_APPS,
+            help="application axis (repeatable)",
+        )
+        p.add_argument(
+            "--mesh", action="append", default=[],
+            help="mesh axis, WxH[:topology] (repeatable; default 4x2)",
+        )
+        p.add_argument(
+            "--protocol", action="append", default=[],
+            choices=("invalidate", "update"),
+            help="coherence protocol axis for shared-memory apps (repeatable)",
+        )
+        p.add_argument(
+            "--rate-scale", action="append", default=[], type=float,
+            help="injection-rate multiplier axis (repeatable; default 1.0)",
+        )
+        p.add_argument(
+            "--seed", action="append", default=[], type=int,
+            help="seed axis for replications (repeatable; default 0)",
+        )
+        p.add_argument(
+            "--param", action="append", default=[],
+            help="app parameter key=value (or app:key=value to scope)",
+        )
+        p.add_argument(
+            "--messages", type=int, default=120,
+            help="synthetic messages per source per cell (default 120)",
+        )
+        p.add_argument(
+            "--cache-dir", default=".repro-sweep-cache",
+            help="result cache directory (default .repro-sweep-cache)",
+        )
+
+    sweep_run = sweep_sub.add_parser("run", help="execute the grid")
+    add_grid_arguments(sweep_run)
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    sweep_run.add_argument(
+        "--no-cache", action="store_true", help="execute every cell, cache nothing"
+    )
+    sweep_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed cell (default 1)",
+    )
+    sweep_run.add_argument(
+        "--report", default=None, help="write the sweep report JSON here"
+    )
+    sweep_run.add_argument(
+        "--value", default="mean_latency",
+        help="run-report field for the comparison table (default mean_latency)",
+    )
+    sweep_run.set_defaults(handler=cmd_sweep_run)
+
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="show cached vs pending cells for a grid"
+    )
+    add_grid_arguments(sweep_status_p)
+    sweep_status_p.set_defaults(handler=cmd_sweep_status)
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="summarize a sweep report JSON"
+    )
+    sweep_report.add_argument("path", help="sweep report JSON file")
+    sweep_report.add_argument(
+        "--value", default="mean_latency",
+        help="run-report field for the comparison table (default mean_latency)",
+    )
+    sweep_report.set_defaults(handler=cmd_sweep_report)
 
     return parser
 

@@ -25,7 +25,13 @@ from repro.core.attributes import (
     TemporalCharacterization,
     VolumeCharacterization,
 )
-from repro.core.loadsweep import LoadPoint, LoadSweep, sweep_load
+from repro.core.loadsweep import (
+    LoadMeasurement,
+    LoadPoint,
+    LoadSweep,
+    measure_load_point,
+    sweep_load,
+)
 from repro.core.phases import PhaseSegment, phase_table, segment_phases
 from repro.core.methodology import (
     characterize_log,
@@ -44,6 +50,7 @@ __all__ = [
     "AnalyticalEstimate",
     "BurstModel",
     "CommunicationCharacterization",
+    "LoadMeasurement",
     "LoadPoint",
     "LoadSweep",
     "PhaseCoupledTrafficGenerator",
@@ -62,6 +69,7 @@ __all__ = [
     "characterize_shared_memory",
     "compare_logs",
     "estimate_bursts",
+    "measure_load_point",
     "phase_table",
     "segment_phases",
     "sweep_load",

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.attributes import CommunicationCharacterization
 from repro.core.synthetic import SyntheticTrafficGenerator
 from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetworkLog
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,48 @@ class LoadSweep:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class LoadMeasurement:
+    """One measured load point together with the activity log behind it.
+
+    :func:`sweep_load` keeps only the :class:`LoadPoint`; the sweep
+    subsystem (:mod:`repro.sweep`) also wants the log so each grid cell
+    can emit a full run report.
+    """
+
+    point: LoadPoint
+    log: NetworkLog
+
+
+def measure_load_point(
+    characterization: CommunicationCharacterization,
+    mesh_config: Optional[MeshConfig] = None,
+    rate_scale: float = 1.0,
+    messages_per_source: int = 120,
+    seed: int = 99,
+) -> LoadMeasurement:
+    """Drive one synthetic run at ``rate_scale`` and measure it.
+
+    The single-point building block of :func:`sweep_load`, exposed so
+    grid sweeps can execute points independently (and in parallel).
+    """
+    generator = SyntheticTrafficGenerator(
+        characterization,
+        mesh_config=mesh_config,
+        seed=seed,
+        rate_scale=rate_scale,
+    )
+    log = generator.generate(messages_per_source=messages_per_source)
+    point = LoadPoint(
+        rate_scale=rate_scale,
+        requested_rate=characterization.temporal.rate * rate_scale,
+        achieved_rate=log.offered_rate(),
+        mean_latency=log.mean_latency(),
+        mean_contention=log.mean_contention(),
+    )
+    return LoadMeasurement(point=point, log=log)
+
+
 def sweep_load(
     characterization: CommunicationCharacterization,
     mesh_config: Optional[MeshConfig] = None,
@@ -130,20 +173,13 @@ def sweep_load(
     saturation_scale: Optional[float] = None
     floor: Optional[float] = None
     for scale in scales:
-        generator = SyntheticTrafficGenerator(
+        point = measure_load_point(
             characterization,
             mesh_config=mesh_config,
+            rate_scale=scale,
+            messages_per_source=messages_per_source,
             seed=seed,
-            rate_scale=scale,
-        )
-        log = generator.generate(messages_per_source=messages_per_source)
-        point = LoadPoint(
-            rate_scale=scale,
-            requested_rate=characterization.temporal.rate * scale,
-            achieved_rate=log.offered_rate(),
-            mean_latency=log.mean_latency(),
-            mean_contention=log.mean_contention(),
-        )
+        ).point
         points.append(point)
         if floor is None:
             floor = point.mean_latency

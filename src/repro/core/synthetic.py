@@ -112,11 +112,16 @@ class SyntheticTrafficGenerator:
         num_nodes = self.mesh_config.num_nodes
         sources = sorted(self.characterization.spatial.per_source)
         n_sources = max(len(sources), 1)
+        # One independent child stream per node: SeedSequence spawning
+        # guarantees no collisions across nearby sweep seeds, unlike
+        # ``seed + 1000 * src`` arithmetic where (seed=1000, src=0) and
+        # (seed=0, src=1) would share a stream.
+        streams = np.random.SeedSequence(self.seed).spawn(num_nodes)
 
         for src in sources:
             pattern = self._pattern_for(src)
             sampler = self._interarrival_sampler(src)
-            rng = np.random.default_rng(self.seed + 1000 * src)
+            rng = np.random.default_rng(streams[src])
             use_aggregate = src not in self.characterization.temporal.per_source_fits
             scale = n_sources if use_aggregate else 1.0
 

@@ -91,6 +91,39 @@ class MeshConfig:
             if getattr(self, field_name) < 0:
                 raise ValueError(f"{field_name} must be >= 0")
 
+    @classmethod
+    def parse(cls, spec: str) -> "MeshConfig":
+        """Parse a ``"WxH[:topology]"`` spec (e.g. ``"4x2"``, ``"4x4:torus"``).
+
+        The torus gets the 2 virtual channels its dateline routing
+        needs.  Malformed specs, non-positive dimensions and unknown
+        topology suffixes are rejected here with a spec-level message
+        instead of surfacing as a constructor error.
+        """
+        text = spec.strip().lower()
+        topology = "mesh"
+        if ":" in text:
+            text, topology = text.split(":", 1)
+        if topology not in ("mesh", "torus", "hypercube"):
+            raise ValueError(
+                f"unknown topology {topology!r} in mesh spec {spec!r}; "
+                "choose mesh, torus or hypercube"
+            )
+        try:
+            width_text, height_text = text.split("x")
+            width, height = int(width_text), int(height_text)
+        except ValueError:
+            raise ValueError(
+                f"mesh spec expects WxH[:topology] (e.g. 4x2 or 4x4:torus), "
+                f"got {spec!r}"
+            ) from None
+        if width < 1 or height < 1:
+            raise ValueError(
+                f"mesh dimensions must be positive, got {spec!r}"
+            )
+        vcs = 2 if topology == "torus" else 1
+        return cls(width=width, height=height, topology=topology, virtual_channels=vcs)
+
     @property
     def num_nodes(self) -> int:
         """Total node count of the network."""

@@ -39,6 +39,7 @@ from repro.obs.registry import (
 from repro.obs.report import (
     RunReport,
     read_trajectory,
+    report_from_log,
     report_from_run,
 )
 from repro.obs.timeline import (
@@ -63,6 +64,7 @@ __all__ = [
     "TimelineRecorder",
     "load_metrics",
     "read_trajectory",
+    "report_from_log",
     "report_from_run",
     "summarize_metrics",
 ]

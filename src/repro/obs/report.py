@@ -99,6 +99,41 @@ def report_from_run(
     )
 
 
+def report_from_log(
+    log,
+    app: str,
+    strategy: str,
+    mesh: str,
+    params: Optional[Dict[str, object]] = None,
+    wall_seconds: float = 0.0,
+    metrics: Optional[Dict[str, Dict[str, object]]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> RunReport:
+    """Build a :class:`RunReport` straight from a
+    :class:`~repro.mesh.netlog.NetworkLog`.
+
+    Used by runs that drive the network without a full
+    characterization pipeline (synthetic traffic, sweep cells); the
+    resulting report has the same versioned schema as
+    :func:`report_from_run`, so sweeps and characterizations land in
+    one comparable trajectory.
+    """
+    return RunReport(
+        app=app,
+        strategy=strategy,
+        mesh=mesh,
+        params=dict(params or {}),
+        messages=len(log),
+        total_bytes=log.total_bytes(),
+        sim_span=log.span(),
+        mean_latency=log.mean_latency(),
+        mean_contention=log.mean_contention(),
+        wall_seconds=wall_seconds,
+        metrics=metrics,
+        extra=dict(extra or {}),
+    )
+
+
 def read_trajectory(path: str) -> List[Dict[str, object]]:
     """Read every report from a JSONL trajectory file."""
     reports: List[Dict[str, object]] = []

@@ -44,7 +44,10 @@ class SecantResult:
 
 
 def _sse(residuals: np.ndarray) -> float:
-    return float(np.dot(residuals, residuals))
+    # Overflow to inf is expected on wild points; callers reject
+    # non-finite SSE values rather than warn about them.
+    with np.errstate(over="ignore"):
+        return float(np.dot(residuals, residuals))
 
 
 def secant_least_squares(
@@ -89,6 +92,11 @@ def secant_least_squares(
     if r is None:
         raise ValueError("residual function is not finite at the starting point")
     sse = _sse(r)
+    if not np.isfinite(sse):
+        # Residuals can be individually finite while their dot product
+        # overflows; an infinite starting SSE would make every line
+        # search accept (inf <= inf) and poison the gain computation.
+        raise ValueError("residual sum of squares overflows at the starting point")
     damping = 1e-8
     iterations = 0
     converged = False
@@ -134,7 +142,10 @@ def secant_least_squares(
                 cand_r = safe_residual(candidate)
                 if cand_r is not None:
                     cand_sse = _sse(cand_r)
-                    if cand_sse <= sse:
+                    # A wild step can overflow the SSE even with finite
+                    # residuals; treat it as a rejected step rather than
+                    # letting NaN/inf poison the comparison below.
+                    if np.isfinite(cand_sse) and cand_sse <= sse:
                         gain = (sse - cand_sse) / max(sse, 1e-300)
                         full_step = scale == 1.0
                         x, r, sse = candidate, cand_r, cand_sse

@@ -1,0 +1,73 @@
+"""Parallel experiment orchestration with content-addressed caching.
+
+The paper's methodology — and every ablation built on it — is a grid
+of independent experiment cells.  This package runs such grids at
+scale:
+
+* :mod:`repro.sweep.grid` — declarative grid specs
+  (:func:`make_grid`) expanded into deterministic, content-addressable
+  :class:`CellSpec` cells;
+* :mod:`repro.sweep.runner` — :func:`run_sweep` executes cells on a
+  process pool with per-cell timeouts, bounded retries with backoff,
+  and failure isolation (a crashed or hung cell becomes a structured
+  failure row, never an aborted sweep);
+* :mod:`repro.sweep.cache` — :class:`ResultCache`, the on-disk store
+  keyed by cell spec + code fingerprint, so interrupted sweeps resume
+  incrementally and unchanged cells are never recomputed;
+* :mod:`repro.sweep.aggregate` — :class:`SweepResult` and the
+  comparison tables joining cell run-reports across the grid.
+
+End to end::
+
+    from repro.sweep import ResultCache, make_grid, run_sweep
+
+    grid = make_grid(
+        apps=("1d-fft", "is"),
+        meshes=("4x2", "4x4:torus"),
+        rate_scales=(1.0, 4.0),
+    )
+    result = run_sweep(grid, jobs=4, cache=ResultCache(".repro-sweep-cache"))
+    print(result.describe())
+
+The same grid is available from the command line as
+``repro sweep run / status / report``.
+"""
+
+from repro.sweep.aggregate import (
+    SWEEP_SCHEMA_VERSION,
+    SweepResult,
+    comparison_table,
+    describe_status,
+    failure_table,
+    sweep_status,
+)
+from repro.sweep.cache import ResultCache, code_fingerprint
+from repro.sweep.grid import (
+    DEFAULT_APP_PARAMS,
+    NO_PROTOCOL,
+    CellSpec,
+    GridSpec,
+    canonical_json,
+    make_grid,
+)
+from repro.sweep.runner import CellTimeoutError, execute_cell, run_sweep
+
+__all__ = [
+    "CellSpec",
+    "CellTimeoutError",
+    "DEFAULT_APP_PARAMS",
+    "GridSpec",
+    "NO_PROTOCOL",
+    "ResultCache",
+    "SWEEP_SCHEMA_VERSION",
+    "SweepResult",
+    "canonical_json",
+    "code_fingerprint",
+    "comparison_table",
+    "describe_status",
+    "execute_cell",
+    "failure_table",
+    "make_grid",
+    "run_sweep",
+    "sweep_status",
+]

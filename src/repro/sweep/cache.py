@@ -1,0 +1,158 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+A cell's cache key is ``sha256(canonical JSON of the cell spec +
+a fingerprint of the repro source tree)``.  The spec part means a cell
+is recomputed whenever any of its coordinates change; the code
+fingerprint means *every* cell is recomputed when the simulator code
+changes — stale results can never masquerade as current ones.
+
+Entries are one small JSON file each, sharded by key prefix and
+written atomically (temp file + :func:`os.replace`), so interrupted
+sweeps resume incrementally: re-running the same grid skips every cell
+that already has a result and executes only the rest.  Only successful
+cells are cached — failures and timeouts always re-execute.
+
+A parallel pickle store (:meth:`ResultCache.put_pickle` /
+:meth:`ResultCache.get_pickle`) holds richer Python objects under the
+same keying scheme; the benchmark suite uses it (via
+``REPRO_SWEEP_CACHE``) to reuse whole characterization runs across
+sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+import repro
+from repro.sweep.grid import canonical_json
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file in the repro package (cached).
+
+    Cheap enough to compute once per process (a few hundred KB of
+    source) and conservative by construction: any source change
+    invalidates the whole cache.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        paths = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    paths.append(os.path.join(dirpath, filename))
+        digest = hashlib.sha256()
+        for path in sorted(paths):
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """Content-addressed store of cell results under one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    fingerprint:
+        Code fingerprint mixed into every key; defaults to
+        :func:`code_fingerprint`.  Tests inject fixed values to model
+        "the code changed".
+    """
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None) -> None:
+        self.root = str(root)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec_json: str) -> str:
+        """Content address for a canonical spec serialization."""
+        material = spec_json + "\n" + self.fingerprint
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def key_for_doc(self, doc: object) -> str:
+        """Content address for any JSON-serializable spec document."""
+        return self.key_for(canonical_json(doc))
+
+    def _path(self, key: str, suffix: str) -> str:
+        return os.path.join(self.root, key[:2], key + suffix)
+
+    def _write_atomic(self, path: str, payload: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached JSON document for ``key``, or None (a miss).
+
+        Corrupt or unreadable entries count as misses — the cell simply
+        re-executes and overwrites them.
+        """
+        try:
+            with open(self._path(key, ".json")) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, doc: Dict[str, object]) -> None:
+        """Store ``doc`` under ``key`` (atomic overwrite)."""
+        payload = json.dumps(doc, sort_keys=True).encode()
+        self._write_atomic(self._path(key, ".json"), payload)
+
+    def get_pickle(self, key: str) -> Optional[object]:
+        """The cached Python object for ``key``, or None.
+
+        Unpicklable/corrupt entries are treated as misses: the cache is
+        an accelerator, never a source of truth.
+        """
+        try:
+            with open(self._path(key, ".pkl"), "rb") as handle:
+                obj = pickle.load(handle)
+        except (OSError, pickle.PickleError, AttributeError, EOFError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj
+
+    def put_pickle(self, key: str, obj: object) -> bool:
+        """Best-effort pickle store; returns False if ``obj`` cannot be
+        pickled (the caller just loses the cache speedup)."""
+        try:
+            payload = pickle.dumps(obj)
+        except (pickle.PickleError, AttributeError, TypeError):
+            return False
+        self._write_atomic(self._path(key, ".pkl"), payload)
+        return True
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` has a JSON entry (does not touch counters)."""
+        return os.path.exists(self._path(key, ".json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,353 @@
+"""Parallel sweep execution: worker pool, timeouts, retries, isolation.
+
+:func:`run_sweep` takes an expanded grid and executes every cell that
+is not already in the result cache, on a
+:class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1`` or
+inline when ``jobs == 1``.  Cells are isolated: a cell that raises or
+hangs becomes a structured failure row — after its bounded retries are
+exhausted — and the sweep continues.
+
+Timeouts are enforced *inside* the worker with an interval timer
+(``SIGALRM``), so a hung cell raises :class:`CellTimeoutError` through
+the normal future path and the worker slot is reclaimed immediately.
+A supervisor-side deadline (twice the timeout plus a grace period)
+backstops cells the alarm cannot interrupt (e.g. stuck in C code); a
+worker abandoned that way poisons the pool, which is then torn down
+without waiting once the sweep drains.
+
+Per-cell seeding is deterministic: each cell derives an independent
+root from :meth:`~repro.sweep.grid.CellSpec.seed_sequence`
+(``np.random.SeedSequence``), and the synthetic generator spawns one
+child stream per source from it — results are reproducible cell by
+cell regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps import SHARED_MEMORY_APPS, create_app
+from repro.coherence.config import CoherenceConfig
+from repro.core.loadsweep import measure_load_point
+from repro.core.methodology import (
+    characterize_message_passing,
+    characterize_shared_memory,
+)
+from repro.obs.report import report_from_log
+from repro.sweep.aggregate import SweepResult
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import NO_PROTOCOL, CellSpec, GridSpec
+
+#: A cell function maps a cell-spec dict to a run-report dict.  The
+#: default is :func:`execute_cell`; tests inject failing/hanging ones.
+CellFunction = Callable[[Dict[str, object]], Dict[str, object]]
+
+#: Extra supervisor-side wait beyond ``2 * timeout`` before a cell is
+#: declared hung despite the in-worker alarm.
+_DEADLINE_GRACE = 5.0
+
+
+class CellTimeoutError(Exception):
+    """A cell exceeded its wall-clock budget."""
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - signal context
+    raise CellTimeoutError()
+
+
+def _invoke(fn: CellFunction, spec_doc: Dict[str, object], timeout: Optional[float]):
+    """Run ``fn`` under an interval-timer timeout (worker entry point).
+
+    Module-level so it pickles into pool workers.  Falls back to no
+    in-worker enforcement on platforms without ``SIGALRM`` (the
+    supervisor deadline still applies).
+    """
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return fn(spec_doc)
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(spec_doc)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
+    """Execute one grid cell end to end; returns a run-report dict.
+
+    Characterizes the cell's application on its mesh (with the cell's
+    coherence protocol for shared-memory apps), then drives the same
+    mesh with synthetic traffic at the cell's rate scale and reports
+    the synthetic run in the versioned run-report schema
+    (:mod:`repro.obs.report`), with the load-point measurements in
+    ``extra``.
+    """
+    spec = CellSpec.from_dict(spec_doc)
+    started = time.perf_counter()
+    mesh = spec.mesh_config()
+    app = create_app(spec.app, **spec.params_dict)
+    if spec.app in SHARED_MEMORY_APPS:
+        coherence = (
+            CoherenceConfig(protocol=spec.protocol)
+            if spec.protocol != NO_PROTOCOL
+            else None
+        )
+        run = characterize_shared_memory(
+            app, mesh_config=mesh, coherence_config=coherence
+        )
+    else:
+        run = characterize_message_passing(app, mesh_config=mesh)
+    cell_seed = int(spec.seed_sequence().generate_state(1)[0])
+    measurement = measure_load_point(
+        run.characterization,
+        mesh_config=mesh,
+        rate_scale=spec.rate_scale,
+        messages_per_source=spec.messages_per_source,
+        seed=cell_seed,
+    )
+    point = measurement.point
+    report = report_from_log(
+        measurement.log,
+        app=spec.app,
+        strategy=run.characterization.strategy,
+        mesh=spec.mesh,
+        params=spec.params_dict,
+        wall_seconds=time.perf_counter() - started,
+        extra={
+            "source": "sweep",
+            "protocol": spec.protocol,
+            "rate_scale": spec.rate_scale,
+            "seed": spec.seed,
+            "cell_seed": cell_seed,
+            "requested_rate": point.requested_rate,
+            "achieved_rate": point.achieved_rate,
+            "efficiency": point.efficiency,
+        },
+    )
+    return report.as_dict()
+
+
+def _ok_row(
+    spec: CellSpec,
+    key: Optional[str],
+    report: Dict[str, object],
+    cached: bool,
+    attempts: int,
+) -> Dict[str, object]:
+    return {
+        "status": "ok",
+        "cached": cached,
+        "attempts": attempts,
+        "cell": spec.as_dict(),
+        "key": key,
+        "report": report,
+    }
+
+
+def _failure_row(
+    spec: CellSpec,
+    key: Optional[str],
+    status: str,
+    message: str,
+    attempts: int,
+) -> Dict[str, object]:
+    return {
+        "status": status,
+        "cached": False,
+        "attempts": attempts,
+        "cell": spec.as_dict(),
+        "key": key,
+        "error": message,
+    }
+
+
+def run_sweep(
+    grid: GridSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+    cell_fn: Optional[CellFunction] = None,
+    on_progress: Optional[Callable[[Dict[str, object], int, int], None]] = None,
+) -> SweepResult:
+    """Execute every cell of ``grid``; never raises for cell failures.
+
+    Parameters
+    ----------
+    grid:
+        The declarative grid to expand and run.
+    jobs:
+        Worker processes (1 = inline in this process).
+    cache:
+        Optional :class:`~repro.sweep.cache.ResultCache`; hits skip
+        execution, successful cells are stored back.
+    timeout:
+        Per-attempt wall-clock budget in seconds (None = unlimited).
+    retries:
+        Extra attempts after a failed/timed-out one (bounded).
+    backoff:
+        Base delay before retry ``k`` (grows as ``backoff * 2**(k-1)``).
+    cell_fn:
+        Replacement cell function (fault injection in tests); must be
+        picklable when ``jobs > 1``.
+    on_progress:
+        Called as ``on_progress(row, done, total)`` when a cell settles.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    fn = cell_fn or execute_cell
+    cells = grid.expand()
+    rows: List[Optional[Dict[str, object]]] = [None] * len(cells)
+    pending: List[Tuple[int, CellSpec, Optional[str]]] = []
+    started = time.perf_counter()
+    done_count = 0
+
+    def settle(index: int, row: Dict[str, object]) -> None:
+        nonlocal done_count
+        rows[index] = row
+        done_count += 1
+        if on_progress is not None:
+            on_progress(row, done_count, len(cells))
+
+    for index, spec in enumerate(cells):
+        key = cache.key_for(spec.canonical_json()) if cache else None
+        if cache is not None:
+            doc = cache.get(key)
+            if doc is not None:
+                settle(index, _ok_row(spec, key, doc, cached=True, attempts=0))
+                continue
+        pending.append((index, spec, key))
+
+    def record_success(index, spec, key, report, attempts):
+        if cache is not None and key is not None:
+            cache.put(key, report)
+        settle(index, _ok_row(spec, key, report, cached=False, attempts=attempts))
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, spec, key in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    report = _invoke(fn, spec.as_dict(), timeout)
+                except CellTimeoutError:
+                    status, message = "timeout", f"cell exceeded {timeout:g}s"
+                except Exception as error:
+                    status, message = "error", f"{type(error).__name__}: {error}"
+                else:
+                    record_success(index, spec, key, report, attempt)
+                    break
+                if attempt > retries:
+                    settle(index, _failure_row(spec, key, status, message, attempt))
+                    break
+                time.sleep(backoff * 2 ** (attempt - 1))
+    else:
+        _run_pool(
+            pending,
+            fn,
+            jobs,
+            timeout,
+            retries,
+            backoff,
+            record_success,
+            lambda index, spec, key, status, message, attempts: settle(
+                index, _failure_row(spec, key, status, message, attempts)
+            ),
+        )
+
+    return SweepResult(
+        grid=grid.as_dict(),
+        rows=[row for row in rows if row is not None],
+        wall_seconds=time.perf_counter() - started,
+        jobs=jobs,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+        cache_enabled=cache is not None,
+        cache_dir=cache.root if cache else None,
+    )
+
+
+def _run_pool(
+    pending, fn, jobs, timeout, retries, backoff, record_success, record_failure
+) -> None:
+    """Pool execution with supervisor-side retry queue and deadlines."""
+    deadline_budget = (2.0 * timeout + _DEADLINE_GRACE) if timeout else None
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    futures: Dict[Future, Tuple[int, CellSpec, Optional[str], int, Optional[float]]] = {}
+    retry_queue: List[Tuple[float, int, CellSpec, Optional[str], int]] = []
+    abandoned = False
+
+    def submit(index, spec, key, attempt):
+        future = executor.submit(_invoke, fn, spec.as_dict(), timeout)
+        deadline = (
+            time.monotonic() + deadline_budget if deadline_budget is not None else None
+        )
+        futures[future] = (index, spec, key, attempt, deadline)
+
+    try:
+        for index, spec, key in pending:
+            submit(index, spec, key, attempt=1)
+        while futures or retry_queue:
+            now = time.monotonic()
+            for entry in list(retry_queue):
+                ready_at, index, spec, key, attempt = entry
+                if ready_at <= now:
+                    retry_queue.remove(entry)
+                    submit(index, spec, key, attempt)
+            if not futures:
+                time.sleep(min(0.05, backoff))
+                continue
+            done, _ = wait(
+                set(futures), timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for future in done:
+                index, spec, key, attempt, _ = futures.pop(future)
+                try:
+                    report = future.result()
+                except CellTimeoutError:
+                    status, message = "timeout", f"cell exceeded {timeout:g}s"
+                except BaseException as error:
+                    status, message = "error", f"{type(error).__name__}: {error}"
+                else:
+                    record_success(index, spec, key, report, attempt)
+                    continue
+                if attempt <= retries:
+                    retry_queue.append(
+                        (now + backoff * 2 ** (attempt - 1), index, spec, key, attempt + 1)
+                    )
+                else:
+                    record_failure(index, spec, key, status, message, attempt)
+            # Backstop: a worker the alarm could not interrupt.  Its
+            # slot is lost (the pool shrinks), so no retry; the sweep
+            # keeps draining and the pool is killed at the end.
+            for future, meta in list(futures.items()):
+                index, spec, key, attempt, deadline = meta
+                if deadline is not None and now > deadline:
+                    del futures[future]
+                    abandoned = True
+                    record_failure(
+                        index,
+                        spec,
+                        key,
+                        "timeout",
+                        f"cell unresponsive past {deadline_budget:g}s; worker abandoned",
+                        attempt,
+                    )
+    finally:
+        if abandoned:
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        else:
+            executor.shutdown(wait=True)

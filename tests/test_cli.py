@@ -31,6 +31,25 @@ class TestMeshParsing:
         with pytest.raises(ValueError):
             _parse_mesh("4by2")
 
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            _parse_mesh("0x4")
+        with pytest.raises(ValueError, match="positive"):
+            _parse_mesh("4x0")
+        with pytest.raises(ValueError, match="positive"):
+            _parse_mesh("-2x4")
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            _parse_mesh("4x2:ring")
+        with pytest.raises(ValueError, match="unknown topology"):
+            _parse_mesh("4x2:taurus")
+
+    def test_bad_mesh_reported_as_cli_error(self, capsys):
+        code = main(["characterize", "1d-fft", "--param", "n=64", "--mesh", "0x4"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_apps_lists_suite(self, capsys):

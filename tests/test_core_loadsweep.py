@@ -3,7 +3,7 @@
 import pytest
 
 from repro import characterize_shared_memory, create_app
-from repro.core import sweep_load
+from repro.core import measure_load_point, sweep_load
 from repro.mesh import MeshConfig
 
 
@@ -61,6 +61,41 @@ class TestSweepLoad:
         )
         assert sweep.saturation_scale is None
         assert "no saturation" in sweep.describe()
+
+    def test_closed_loop_plateau_past_saturation(self, fft_characterization):
+        # Sources are closed-loop, so past saturation the achieved rate
+        # plateaus at the network's capacity instead of growing with the
+        # requested rate: doubling the request must not double delivery.
+        slow = MeshConfig(width=4, height=2, channel_time=20.0)
+        sweep = sweep_load(
+            fft_characterization,
+            mesh_config=slow,
+            rate_scales=(8.0, 32.0, 64.0),
+            messages_per_source=40,
+        )
+        assert sweep.saturation_scale is not None
+        saturated = [
+            p for p in sweep.points if p.rate_scale >= sweep.saturation_scale
+        ]
+        assert len(saturated) >= 2
+        first, last = saturated[0], saturated[-1]
+        requested_growth = last.requested_rate / first.requested_rate
+        achieved_growth = last.achieved_rate / first.achieved_rate
+        assert achieved_growth < requested_growth / 2
+        assert achieved_growth < 1.5
+
+    def test_measure_load_point_matches_sweep(self, fft_characterization):
+        measurement = measure_load_point(
+            fft_characterization,
+            rate_scale=2.0,
+            messages_per_source=60,
+            seed=99,
+        )
+        sweep = sweep_load(
+            fft_characterization, rate_scales=(2.0,), messages_per_source=60, seed=99
+        )
+        assert measurement.point == sweep.points[0]
+        assert len(measurement.log) > 0
 
     def test_validation(self, fft_characterization):
         with pytest.raises(ValueError):

@@ -157,6 +157,28 @@ class TestSecantSolver:
         result = secant_least_squares(residual, np.array([0.0]))
         assert result.sse < 1e-8
 
+    def test_overflowing_sse_start_rejected(self):
+        # Residuals are individually finite but their sum of squares
+        # overflows to inf; accepting it would poison the line search.
+        with pytest.raises(ValueError):
+            secant_least_squares(
+                lambda x: np.array([1e200, 1e200]), np.zeros(1)
+            )
+
+    def test_sse_overflow_during_search_is_rejected_step(self):
+        # A wild trial step lands where the residual is finite but its
+        # SSE overflows; the solver must treat it as a rejected step
+        # and still converge from the finite region.
+        def residual(x):
+            if abs(x[0]) > 10.0:
+                return np.array([1e200])
+            return np.array([x[0] - 0.5])
+
+        result = secant_least_squares(residual, np.array([0.0]))
+        assert np.isfinite(result.sse)
+        assert result.sse < 1e-8
+        np.testing.assert_allclose(result.x, [0.5], atol=1e-4)
+
 
 class TestRegression:
     def test_fit_quadratic(self):
