@@ -17,6 +17,8 @@ Usage (via ``python -m repro``):
           --jobs 4 --timeout 120
     $ python -m repro sweep status --app 1d-fft --mesh 4x2
     $ python -m repro sweep report sweep.json --value achieved_rate
+    $ python -m repro doctor sweep.json
+    $ python -m repro doctor run-log.csv.gz
 
 ``characterize`` runs the right strategy for the application (dynamic
 for shared memory, static for message passing), prints the
@@ -33,6 +35,13 @@ rate-scale x seed) on a worker pool with per-cell timeouts, bounded
 retries and a content-addressed result cache — see
 :mod:`repro.sweep`.  ``sweep status`` shows cached vs pending cells;
 ``sweep report`` re-renders a saved sweep report.
+
+``doctor`` inspects a saved artifact — an activity-log CSV, a run
+report, or a sweep report — and flags failure signatures: deadlocked
+or leaking sweep cells (with their wait-for cycle from
+``failure_log``), leaked facility servers in a run report's metrics,
+and drain-dominated activity logs where offered rate and throughput
+diverge.  Exit code 1 when problems are found.
 """
 
 from __future__ import annotations
@@ -277,6 +286,47 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Diagnose a saved artifact: activity log CSV, run report JSON, or
+    sweep report JSON.  Exit 0 when healthy, 1 when problems found."""
+    import json
+
+    from repro.mesh.netlog import NetworkLog
+    from repro.obs.report import netlog_health, report_health, sweep_health
+
+    path = args.path
+    if path.endswith(".csv") or path.endswith(".csv.gz"):
+        lines, problems = netlog_health(NetworkLog.read_csv(path))
+        kind = "activity log"
+    else:
+        with (open(path) if not path.endswith(".gz") else _gz_open(path)) as handle:
+            doc = json.load(handle)
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: not a JSON object")
+        if "cells" in doc or "rows" in doc:
+            lines, problems = sweep_health({"rows": doc.get("cells", doc.get("rows"))})
+            kind = "sweep report"
+        elif "schema" in doc:
+            lines, problems = report_health(doc)
+            kind = "run report"
+        else:
+            raise ValueError(
+                f"{path}: unrecognized artifact (expected an activity-log CSV, "
+                f"a run report, or a sweep report)"
+            )
+    print(f"{kind}: {path}")
+    for line in lines:
+        print(f"  {line}")
+    print("healthy" if not problems else f"{problems} problem(s) found")
+    return 0 if not problems else 1
+
+
+def _gz_open(path: str):
+    import gzip
+
+    return gzip.open(path, "rt")
+
+
 def cmd_sp2_model(args: argparse.Namespace) -> int:
     """Print the SP2 software-overhead model at given sizes."""
     sp2 = SP2Config()
@@ -346,6 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp2 = sub.add_parser("sp2-model", help="print the SP2 overhead model")
     sp2.add_argument("bytes", nargs="+", type=int)
     sp2.set_defaults(handler=cmd_sp2_model)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="diagnose a saved log or report (deadlocks, leaks, drain stalls)",
+    )
+    doctor.add_argument(
+        "path", help="activity log (.csv/.csv.gz), run report or sweep report JSON"
+    )
+    doctor.set_defaults(handler=cmd_doctor)
 
     sweep = sub.add_parser(
         "sweep", help="run experiment grids in parallel with result caching"

@@ -20,7 +20,7 @@ from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
-from repro.simkernel import Simulator, hold
+from repro.simkernel import Simulator, check_leaks, hold
 from repro.stats.spatial_models import SpatialPattern, UniformPattern
 
 
@@ -142,7 +142,13 @@ class SyntheticTrafficGenerator:
 
             simulator.process(source_process(), name=f"synth[{src}]")
 
-        simulator.run(until=until)
+        # A drained queue with sources still blocked is a deadlock, not
+        # a completed run; a truncated run is unwound so held channels
+        # are released before the log is handed back.
+        simulator.run(until=until, check_stall=True)
+        if until is not None:
+            simulator.shutdown()
+        check_leaks(simulator)
         return network.log
 
 
@@ -244,5 +250,6 @@ class PhaseCoupledTrafficGenerator:
                 yield hold(lull / self.rate_scale)
 
         simulator.process(driver(), name="burst-driver")
-        simulator.run()
+        simulator.run(check_stall=True)
+        check_leaks(simulator)
         return network.log

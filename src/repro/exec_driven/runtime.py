@@ -19,7 +19,7 @@ from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
-from repro.simkernel import Simulator
+from repro.simkernel import DeadlockError, Simulator, check_leaks
 
 ThreadBody = Callable[[ThreadContext], Generator]
 
@@ -138,7 +138,14 @@ class ExecutionDrivenSimulation:
             self.simulator.process(thread_body(ctx), name=f"thread[{ctx.pid}]")
             for ctx in self.contexts
         ]
-        end_time = self.simulator.run(until=until)
+        try:
+            end_time = self.simulator.run(until=until, check_stall=until is None)
+        except DeadlockError as error:
+            self.finished = True
+            stuck = [t.name for t in threads if not t.finished]
+            raise RuntimeError(
+                f"threads never finished (deadlock or lost wakeup): {stuck}\n{error}"
+            ) from error
         self.finished = True
         self.network.finalize_metrics()
         self.machine.finalize_metrics()
@@ -147,6 +154,8 @@ class ExecutionDrivenSimulation:
             raise RuntimeError(
                 f"threads never finished (deadlock or lost wakeup): {stuck}"
             )
+        if until is None:
+            check_leaks(self.simulator)
         return end_time
 
     def machine_stats(self) -> Dict[str, float]:

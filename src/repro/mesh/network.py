@@ -159,12 +159,20 @@ class MeshNetwork:
         Use from model code as ``record = yield from net.transfer(msg)``;
         the caller blocks until the tail flit is delivered and receives
         the :class:`NetLogRecord`.
+
+        Exception-safe: if the owning process fails or the run is
+        truncated (the exception or ``GeneratorExit`` unwinds through
+        this frame), every facility still held by this transfer is
+        released synchronously and ``in_flight``/its gauge restored, so
+        an aborted transfer cannot corrupt the contention and
+        utilization accounting of the survivors.
         """
         cfg = self.config
         self._check_node(message.src)
         self._check_node(message.dst)
         observed = self._observed
         timeline_on = self.timeline.enabled
+        owner = self.simulator.current_process
         self._in_flight += 1
         self.total_injected += 1
         if observed:
@@ -174,106 +182,123 @@ class MeshNetwork:
         contention = 0.0
         path = self._select_route(message)
         acquired: List[Facility] = []
+        released = 0
+        delivered = False
         # (channel key, acquire time) pairs for the timeline's per-
         # channel occupancy spans (wormhole: held until the tail drains).
         channel_spans: List[Tuple[Tuple[int, int], float]] = []
 
-        # Source NI: serializes messages leaving the same node.
-        inj = self._injection[message.src]
-        t0 = self.simulator.now
-        yield request(inj)
-        contention += self.simulator.now - t0
-        acquired.append(inj)
-        start_time = self.simulator.now
-        yield hold(cfg.injection_time)
-
-        # Head flit walks the selected route, seizing each channel
-        # lane in order.  Hops that pin a virtual-channel class (the
-        # torus dateline, adaptive dimension orders) get it; free hops
-        # spread over lanes.
-        free_lane = message.msg_id % cfg.virtual_channels
-        for hop in path:
-            lane = hop.vclass if hop.vclass is not None else free_lane
-            channel = self._channels[(hop.src, hop.dst, lane)]
+        try:
+            # Source NI: serializes messages leaving the same node.
+            inj = self._injection[message.src]
             t0 = self.simulator.now
-            yield request(channel)
-            hop_wait = self.simulator.now - t0
-            contention += hop_wait
-            if observed:
-                self._m_hop_wait.observe(hop_wait)
-            if timeline_on:
-                channel_spans.append(((hop.src, hop.dst), self.simulator.now))
-            acquired.append(channel)
-            yield hold(cfg.routing_time + cfg.channel_time)
+            yield request(inj)
+            contention += self.simulator.now - t0
+            acquired.append(inj)
+            start_time = self.simulator.now
+            yield hold(cfg.injection_time)
 
-        # Destination NI.
-        ej = self._ejection[message.dst]
-        t0 = self.simulator.now
-        yield request(ej)
-        contention += self.simulator.now - t0
-        acquired.append(ej)
-        yield hold(cfg.ejection_time)
+            # Head flit walks the selected route, seizing each channel
+            # lane in order.  Hops that pin a virtual-channel class (the
+            # torus dateline, adaptive dimension orders) get it; free hops
+            # spread over lanes.
+            free_lane = message.msg_id % cfg.virtual_channels
+            for hop in path:
+                lane = hop.vclass if hop.vclass is not None else free_lane
+                channel = self._channels[(hop.src, hop.dst, lane)]
+                t0 = self.simulator.now
+                yield request(channel)
+                hop_wait = self.simulator.now - t0
+                contention += hop_wait
+                if observed:
+                    self._m_hop_wait.observe(hop_wait)
+                if timeline_on:
+                    channel_spans.append(((hop.src, hop.dst), self.simulator.now))
+                acquired.append(channel)
+                yield hold(cfg.routing_time + cfg.channel_time)
 
-        # Body flits stream over the held path (pipelined circuit).
-        flits = cfg.flits_for(message.length_bytes)
-        if flits > 1:
-            yield hold((flits - 1) * cfg.channel_time)
+            # Destination NI.
+            ej = self._ejection[message.dst]
+            t0 = self.simulator.now
+            yield request(ej)
+            contention += self.simulator.now - t0
+            acquired.append(ej)
+            yield hold(cfg.ejection_time)
 
-        for facility in acquired:
-            yield release(facility)
+            # Body flits stream over the held path (pipelined circuit).
+            flits = cfg.flits_for(message.length_bytes)
+            if flits > 1:
+                yield hold((flits - 1) * cfg.channel_time)
 
-        record = NetLogRecord(
-            msg_id=message.msg_id,
-            src=message.src,
-            dst=message.dst,
-            length_bytes=message.length_bytes,
-            kind=message.kind,
-            inject_time=inject_time,
-            start_time=start_time,
-            deliver_time=self.simulator.now,
-            contention=contention,
-            hops=len(path),
-        )
-        self.log.add(record)
-        self._in_flight -= 1
-        self.total_delivered += 1
-        if observed:
-            self._m_delivered.inc()
-            self._m_in_flight.set(self._in_flight)
-            self._m_latency.observe(record.latency)
-            self._m_contention.observe(contention)
-            self._m_hops.observe(len(path))
-            self._deliveries_since_sample += 1
-            if self._deliveries_since_sample >= self.CHANNEL_SAMPLE_INTERVAL:
-                self._deliveries_since_sample = 0
-                self._sample_channels(self.simulator.now)
-        if timeline_on:
-            now = self.simulator.now
-            self.timeline.complete(
-                name=f"{message.kind} -> {message.dst}",
-                category="message",
-                start=inject_time,
-                duration=now - inject_time,
-                pid=message.src,
-                tid=0,
-                args={
-                    "msg_id": message.msg_id,
-                    "bytes": message.length_bytes,
-                    "contention": contention,
-                    "hops": len(path),
-                },
+            for facility in acquired:
+                yield release(facility)
+                released += 1
+
+            record = NetLogRecord(
+                msg_id=message.msg_id,
+                src=message.src,
+                dst=message.dst,
+                length_bytes=message.length_bytes,
+                kind=message.kind,
+                inject_time=inject_time,
+                start_time=start_time,
+                deliver_time=self.simulator.now,
+                contention=contention,
+                hops=len(path),
             )
-            for key, acquire_time in channel_spans:
+            self.log.add(record)
+            self._in_flight -= 1
+            self.total_delivered += 1
+            delivered = True
+            if observed:
+                self._m_delivered.inc()
+                self._m_in_flight.set(self._in_flight)
+                self._m_latency.observe(record.latency)
+                self._m_contention.observe(contention)
+                self._m_hops.observe(len(path))
+                self._deliveries_since_sample += 1
+                if self._deliveries_since_sample >= self.CHANNEL_SAMPLE_INTERVAL:
+                    self._deliveries_since_sample = 0
+                    self._sample_channels(self.simulator.now)
+            if timeline_on:
+                now = self.simulator.now
                 self.timeline.complete(
-                    name=f"msg {message.msg_id}",
-                    category="channel",
-                    start=acquire_time,
-                    duration=now - acquire_time,
-                    pid=CHANNELS_PID,
-                    tid=self._channel_tids[key],
-                    args={"src": message.src, "dst": message.dst},
+                    name=f"{message.kind} -> {message.dst}",
+                    category="message",
+                    start=inject_time,
+                    duration=now - inject_time,
+                    pid=message.src,
+                    tid=0,
+                    args={
+                        "msg_id": message.msg_id,
+                        "bytes": message.length_bytes,
+                        "contention": contention,
+                        "hops": len(path),
+                    },
                 )
-        self._deliver(message, record)
+                for key, acquire_time in channel_spans:
+                    self.timeline.complete(
+                        name=f"msg {message.msg_id}",
+                        category="channel",
+                        start=acquire_time,
+                        duration=now - acquire_time,
+                        pid=CHANNELS_PID,
+                        tid=self._channel_tids[key],
+                        args={"src": message.src, "dst": message.dst},
+                    )
+            self._deliver(message, record)
+        except BaseException:
+            # The unwind may arrive via GeneratorExit (shutdown/GC), so
+            # no yields here: facilities are released synchronously.
+            holder = owner if owner is not None else self.simulator.current_process
+            if holder is not None:
+                for facility in acquired[released:]:
+                    facility._abandon(holder)
+            if not delivered:
+                self._in_flight -= 1
+                if observed:
+                    self._m_in_flight.set(self._in_flight)
+            raise
         return record
 
     def _sample_channels(self, now: float) -> None:
@@ -332,10 +357,33 @@ class MeshNetwork:
 
         Called by the run harnesses at end of simulation so short runs
         (fewer deliveries than the sampling interval) still export a
-        per-channel utilization point.
+        per-channel utilization point.  Also records the end-of-run
+        facility-leak audit so a leaky run is visible in its metrics.
         """
         if self._observed:
             self._sample_channels(self.simulator.now)
+            self.obs.gauge("net.leaked_facilities").set(
+                len(self.leaked_facilities())
+            )
+
+    def leaked_facilities(self, include_live: bool = False):
+        """End-of-run audit restricted to this network's facilities.
+
+        Returns ``(process, facility, count)`` for every injection,
+        ejection, or channel server held by a finished/failed process
+        (with ``include_live=True``: by any process -- useful after a
+        truncated run).  A clean completed run returns ``[]``.
+        """
+        own = set(self._channels.values())
+        own.update(self._injection)
+        own.update(self._ejection)
+        return [
+            (proc, facility, count)
+            for proc, facility, count in self.simulator.leaked_facilities(
+                include_live=include_live
+            )
+            if facility in own
+        ]
 
     @property
     def in_flight(self) -> int:

@@ -14,7 +14,7 @@ from typing import Any, Callable, Generator, Optional
 from repro.mp.api import MPIContext
 from repro.mp.sp2 import SP2Config
 from repro.obs.registry import MetricsRegistry
-from repro.simkernel import Simulator, hold
+from repro.simkernel import DeadlockError, Simulator, hold
 from repro.trace.log import TraceLog
 
 RankBody = Callable[[MPIContext], Generator]
@@ -84,7 +84,14 @@ class MessagePassingRuntime:
             self.simulator.process(rank_body(comm), name=f"rank[{comm.rank}]")
             for comm in self.contexts
         ]
-        end_time = self.simulator.run(until=until)
+        try:
+            end_time = self.simulator.run(until=until, check_stall=until is None)
+        except DeadlockError as error:
+            self.finished = True
+            stuck = [r.name for r in ranks if not r.finished]
+            raise RuntimeError(
+                f"ranks never finished (unmatched recv or deadlock): {stuck}\n{error}"
+            ) from error
         self.finished = True
         stuck = [r.name for r in ranks if not r.finished]
         if stuck and until is None:

@@ -15,7 +15,7 @@ import json
 import os
 import platform
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 #: Bumped when the report layout changes incompatibly.
@@ -143,3 +143,96 @@ def read_trajectory(path: str) -> List[Dict[str, object]]:
             if line:
                 reports.append(json.loads(line))
     return reports
+
+
+# ----------------------------------------------------------------------
+# health summaries (the `repro doctor` backend)
+# ----------------------------------------------------------------------
+
+#: Failure statuses produced by diagnosed simulation failures
+#: (:mod:`repro.sweep.runner` classification).
+DIAGNOSED_STATUSES = ("deadlock", "leak", "stall")
+
+
+def netlog_health(log) -> Tuple[List[str], int]:
+    """Health lines + problem count for a network activity log.
+
+    Flags an empty log and a drain-dominated span (last delivery far
+    past last injection), the signature of a run that stalled while
+    draining — exactly the failure mode that silently corrupts
+    offered-rate numbers when the denominator is the full span.
+    """
+    lines: List[str] = []
+    problems = 0
+    n = len(log)
+    if n == 0:
+        return ["empty activity log: no messages were delivered"], 1
+    span = log.span()
+    inj_span = log.injection_span()
+    lines.append(f"{n} messages over span {span:g} (injection window {inj_span:g})")
+    lines.append(
+        f"offered rate {log.offered_rate():g}/t, throughput {log.throughput():g}/t"
+    )
+    lines.append(
+        f"mean latency {log.mean_latency():g}, "
+        f"mean contention {log.mean_contention():g}"
+    )
+    if inj_span > 0 and span > 2.0 * inj_span:
+        problems += 1
+        lines.append(
+            f"WARNING: drain time dominates ({span:g} vs injection window "
+            f"{inj_span:g}) — network saturated or stalled while draining"
+        )
+    return lines, problems
+
+
+def report_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
+    """Health lines + problem count for one run-report dict."""
+    lines: List[str] = []
+    problems = 0
+    app = doc.get("app", "?")
+    messages = int(doc.get("messages", 0) or 0)
+    lines.append(
+        f"app {app}: {messages} messages, sim span {doc.get('sim_span', 0)}, "
+        f"wall {doc.get('wall_seconds', 0)}s"
+    )
+    if messages == 0:
+        problems += 1
+        lines.append("WARNING: run delivered zero messages")
+    metrics = doc.get("metrics") or {}
+    leaked = metrics.get("net.leaked_facilities") if isinstance(metrics, dict) else None
+    if isinstance(leaked, dict) and leaked.get("value"):
+        problems += 1
+        lines.append(
+            f"WARNING: {leaked['value']} facility server(s) leaked at end of run"
+        )
+    return lines, problems
+
+
+def sweep_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
+    """Health lines + problem count for a sweep-report dict.
+
+    Counts rows by status and prints each diagnosed failure's
+    ``failure_log`` (the wait-for cycle or leak audit).
+    """
+    rows = doc.get("rows", [])
+    lines: List[str] = []
+    counts: Dict[str, int] = {}
+    for row in rows:
+        status = str(row.get("status", "?"))
+        counts[status] = counts.get(status, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines.append(f"{len(rows)} cells: {summary or 'no rows'}")
+    problems = sum(v for k, v in counts.items() if k != "ok")
+    for row in rows:
+        status = str(row.get("status", "?"))
+        if status == "ok":
+            continue
+        cell = row.get("cell", {})
+        cell_id = "/".join(
+            str(cell.get(k)) for k in ("app", "mesh") if cell.get(k) is not None
+        ) or "cell"
+        lines.append(f"{cell_id}: {status}: {row.get('error', '?')}".splitlines()[0])
+        for detail in row.get("failure_log", ()):
+            lines.append(f"    {detail}")
+    return lines, problems

@@ -45,13 +45,24 @@ from repro.simkernel.engine import (
     passivate,
     wait,
 )
+from repro.simkernel.diagnosis import (
+    DeadlockError,
+    FacilityLeakError,
+    StallDiagnosis,
+    StallError,
+    check_leaks,
+    describe_leaks,
+    diagnose_stall,
+)
 from repro.simkernel.events import SimEvent
 from repro.simkernel.facility import Facility, Release, Request, request, release
 from repro.simkernel.mailbox import Mailbox, Receive, Send, receive, send
 from repro.simkernel.random_streams import RandomStreams
 
 __all__ = [
+    "DeadlockError",
     "Facility",
+    "FacilityLeakError",
     "Hold",
     "Mailbox",
     "Passivate",
@@ -65,7 +76,12 @@ __all__ = [
     "SimEvent",
     "SimulationError",
     "Simulator",
+    "StallDiagnosis",
+    "StallError",
     "Wait",
+    "check_leaks",
+    "describe_leaks",
+    "diagnose_stall",
     "hold",
     "passivate",
     "receive",

@@ -18,7 +18,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -98,6 +98,16 @@ class Process:
         self.error: Optional[BaseException] = None
         self._body = body
         self._waiters: List[Process] = []
+        # Resource-lifecycle bookkeeping.  ``_held`` maps each facility
+        # this process currently holds to its server count (a process
+        # may hold several servers of one multi-server facility), and
+        # ``waiting_on`` names what a WAITING process is parked on (a
+        # Facility, Mailbox, SimEvent, the joined Process, or the Hold
+        # command for timer waits).  Together they let the stall
+        # detector build the wait-for graph and the end-of-run audit
+        # find leaked facilities.
+        self._held: Dict[Any, int] = {}
+        self.waiting_on: Any = None
         # Per-process command tallies; only maintained when the owning
         # simulator's metrics registry is enabled.
         self.holds = 0
@@ -110,6 +120,11 @@ class Process:
     def finished(self) -> bool:
         """True once the generator has run to completion (or failed)."""
         return self.state in (ProcessState.FINISHED, ProcessState.FAILED)
+
+    @property
+    def held(self) -> Dict[Any, int]:
+        """Facilities this process currently holds, mapped to server counts."""
+        return dict(self._held)
 
     def activate(self, value: Any = None) -> None:
         """Re-activate a passivated process, delivering ``value`` to it."""
@@ -131,6 +146,7 @@ class Process:
             if waiter is None:
                 raise SimulationError("join() may only be used from inside a process")
             self._waiters.append(waiter)
+            waiter.waiting_on = self
             yield Passivate()
         if self.state is ProcessState.FAILED and self.error is not None:
             raise self.error
@@ -218,21 +234,50 @@ class Simulator:
         """Halt the event loop after the current event completes."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        check_stall: bool = False,
+        max_no_progress_events: Optional[int] = None,
+    ) -> float:
         """Run events until the event list drains, ``until`` is reached,
-        or :meth:`stop` is called.  Returns the final clock value."""
+        or :meth:`stop` is called.  Returns the final clock value.
+
+        The clock never moves backwards: a second ``run`` with an
+        ``until`` horizon earlier than ``now`` is a no-op that returns
+        the current time.
+
+        With ``check_stall=True``, draining the event queue while
+        processes are still ``WAITING`` raises
+        :class:`~repro.simkernel.diagnosis.DeadlockError` carrying the
+        wait-for cycle (process -> held facility -> blocked requester)
+        instead of returning as if the simulation completed.
+
+        ``max_no_progress_events`` arms a livelock watchdog: if that
+        many consecutive events fire without the clock advancing (a
+        zero-delay event storm), the run raises
+        :class:`~repro.simkernel.diagnosis.StallError` with the same
+        wait-for diagnosis attached.
+        """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
+        if max_no_progress_events is not None and max_no_progress_events < 1:
+            raise SimulationError(
+                f"max_no_progress_events must be >= 1, got {max_no_progress_events}"
+            )
         self._running = True
         self._stopped = False
         observed = self._observed
+        no_progress = 0
         try:
             while self._queue and not self._stopped:
                 when, _, callback = self._queue[0]
                 if until is not None and when > until:
-                    self._now = until
+                    self._now = max(self._now, until)
                     break
                 heapq.heappop(self._queue)
+                if max_no_progress_events is not None:
+                    no_progress = 0 if when > self._now else no_progress + 1
                 self._now = when
                 callback()
                 if observed:
@@ -242,17 +287,89 @@ class Simulator:
                         self._events_since_sample = 0
                         self._m_queue_depth.sample(self._now, len(self._queue))
                         self._m_active.sample(self._now, self.active_process_count)
+                if (
+                    max_no_progress_events is not None
+                    and no_progress >= max_no_progress_events
+                ):
+                    from repro.simkernel.diagnosis import StallError, diagnose_stall
+
+                    raise StallError(
+                        f"no simulated-time progress after {no_progress} events "
+                        f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
+                    )
         finally:
             self._running = False
         if until is not None and not self._queue and self._now < until:
             self._now = until
+        if check_stall and not self._stopped and not self._queue:
+            blocked = [p for p in self._processes if p.state is ProcessState.WAITING]
+            if blocked:
+                from repro.simkernel.diagnosis import DeadlockError, diagnose_stall
+
+                diagnosis = diagnose_stall(self)
+                raise DeadlockError(
+                    diagnosis.describe(), cycle=diagnosis.cycle_names()
+                )
         return self._now
+
+    # ------------------------------------------------------------------
+    # lifecycle audits and teardown
+    # ------------------------------------------------------------------
+    def leaked_facilities(
+        self, include_live: bool = False
+    ) -> List[Tuple[Process, Any, int]]:
+        """Audit held facility servers as ``(process, facility, count)``.
+
+        By default only *leaks* are reported: servers held by a
+        FINISHED/FAILED process, which nothing can ever release.  Pass
+        ``include_live=True`` after a truncated ``run(until=...)`` to
+        also see servers still held by live (suspended) processes.
+        """
+        leaks: List[Tuple[Process, Any, int]] = []
+        for proc in self._processes:
+            if proc._held and (proc.finished or include_live):
+                for resource, count in proc._held.items():
+                    leaks.append((proc, resource, count))
+        return leaks
+
+    def shutdown(self) -> List[Process]:
+        """Unwind every unfinished process and drop pending events.
+
+        Each live generator is closed (``GeneratorExit``), which runs
+        the ``try/finally`` cleanup in :meth:`Facility.use` and
+        :meth:`MeshNetwork.transfer` so held facilities are released
+        and in-flight gauges restored.  Processes parked on a facility
+        queue, mailbox, or event are removed from it first.  Returns
+        the processes that were terminated (state FAILED, error set to
+        a truncation :class:`SimulationError`).
+        """
+        if self._running:
+            raise SimulationError("cannot shutdown() while the simulator is running")
+        terminated: List[Process] = []
+        for proc in self._processes:
+            if proc.finished:
+                continue
+            cancel = getattr(proc.waiting_on, "_cancel", None)
+            if cancel is not None:
+                cancel(proc)
+            proc.waiting_on = None
+            try:
+                proc._body.close()
+            finally:
+                proc.state = ProcessState.FAILED
+                proc.error = SimulationError(
+                    f"process {proc.name!r} truncated by shutdown()"
+                )
+            terminated.append(proc)
+        self._queue.clear()
+        return terminated
 
     # ------------------------------------------------------------------
     # process stepping
     # ------------------------------------------------------------------
     def _schedule_step(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
         proc.state = ProcessState.RUNNABLE
+        proc.waiting_on = None
         self.schedule(delay, lambda: self._step(proc, value))
 
     def _step(self, proc: Process, value: Any) -> None:

@@ -76,3 +76,11 @@ class SimEvent:
             self.simulator._schedule_step(proc, self._value)
         else:
             self._waiters.append(proc)
+            proc.waiting_on = self
+
+    def _cancel(self, proc: Process) -> None:
+        """Remove ``proc`` from the waiter list (cleanup path)."""
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+            if proc.waiting_on is self:
+                proc.waiting_on = None

@@ -68,7 +68,6 @@ class Facility:
         self.simulator = simulator
         self.name = name
         self.servers = servers
-        self._holders: Dict[int, Process] = {}
         self._queue: Deque[Process] = deque()
         self._busy = 0
         self._busy_integral = 0.0
@@ -99,6 +98,15 @@ class Facility:
     def is_free(self) -> bool:
         """Whether at least one server is available right now."""
         return self._busy < self.servers
+
+    def holders(self) -> List[Process]:
+        """Processes currently holding at least one server.
+
+        Holder bookkeeping lives on each :class:`Process` (its held
+        map), so this scans the simulator's process table -- it is a
+        diagnosis/audit path, not part of the simulation hot path.
+        """
+        return [p for p in self.simulator._processes if self in p._held]
 
     # ------------------------------------------------------------------
     # statistics
@@ -136,34 +144,73 @@ class Facility:
     # ------------------------------------------------------------------
     # engine hooks
     # ------------------------------------------------------------------
+    def _grant(self, proc: Process) -> None:
+        """Record one server of this facility as held by ``proc``.
+
+        The count (not a set) is what fixes double-acquire accounting:
+        a process taking two servers of a multi-server facility must
+        survive two releases without ``_busy`` drifting.
+        """
+        proc._held[self] = proc._held.get(self, 0) + 1
+
     def _request(self, proc: Process) -> None:
         self._integrate()
         self.total_requests += 1
         if self._busy < self.servers:
             self._busy += 1
-            self._holders[id(proc)] = proc
+            self._grant(proc)
             self._wait_times.append(0.0)
             self.simulator._schedule_step(proc, None)
         else:
             self.total_queued += 1
             self._enqueue_times[id(proc)] = self.simulator.now
             self._queue.append(proc)
+            proc.waiting_on = self
 
     def _release(self, proc: Process) -> None:
         self._integrate()
-        if id(proc) not in self._holders:
+        held = proc._held.get(self, 0)
+        if held <= 0:
             raise SimulationError(
                 f"process {proc.name!r} released facility {self.name!r} it does not hold"
             )
-        del self._holders[id(proc)]
+        if held == 1:
+            del proc._held[self]
+        else:
+            proc._held[self] = held - 1
         if self._queue:
             nxt = self._queue.popleft()
             queued_at = self._enqueue_times.pop(id(nxt))
             self._wait_times.append(self.simulator.now - queued_at)
-            self._holders[id(nxt)] = nxt
+            self._grant(nxt)
             self.simulator._schedule_step(nxt, None)
         else:
             self._busy -= 1
+
+    def _cancel(self, proc: Process) -> None:
+        """Remove ``proc`` from the request queue (cleanup path).
+
+        Without this, a truncated process left in the queue would later
+        be granted a server it can never release.
+        """
+        if proc in self._queue:
+            self._integrate()
+            self._queue.remove(proc)
+            self._enqueue_times.pop(id(proc), None)
+            if proc.waiting_on is self:
+                proc.waiting_on = None
+
+    def _abandon(self, proc: Process) -> None:
+        """Cleanup-path release: drop ``proc``'s claim without resuming it.
+
+        Releases a held server (waking the next requester) or cancels a
+        queued request; a no-op when ``proc`` has no claim, so unwind
+        handlers may call it unconditionally.
+        """
+        if proc._held.get(self, 0) > 0:
+            self._release(proc)
+        else:
+            self._cancel(proc)
 
     # ------------------------------------------------------------------
     # convenience
@@ -171,8 +218,18 @@ class Facility:
     def use(self, duration: float):
         """Sub-generator: acquire, hold ``duration``, release.
 
-        Use as ``yield from channel.use(t)``.
+        Use as ``yield from channel.use(t)``.  Exception-safe: if the
+        holding process fails or is truncated mid-hold (the exception
+        or ``GeneratorExit`` unwinds through this frame), the server is
+        released synchronously so the facility cannot leak.
         """
+        owner = self.simulator.current_process
         yield Request(self)
-        yield Hold(float(duration))
-        yield Release(self)
+        try:
+            yield Hold(float(duration))
+            yield Release(self)
+        except BaseException:
+            holder = owner if owner is not None else self.simulator.current_process
+            if holder is not None:
+                self._abandon(holder)
+            raise

@@ -94,3 +94,12 @@ class Mailbox:
             self.simulator._schedule_step(proc, self._messages.popleft())
         else:
             self._waiters.append(proc)
+            proc.waiting_on = self
+
+    def _cancel(self, proc: Process) -> None:
+        """Remove ``proc`` from the receive queue (cleanup path), so a
+        later ``put`` does not hand a message to a dead process."""
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+            if proc.waiting_on is self:
+                proc.waiting_on = None

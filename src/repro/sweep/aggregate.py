@@ -85,17 +85,21 @@ def comparison_table(
 
 
 def failure_table(rows: Sequence[Dict[str, object]]) -> str:
-    """One line per failed cell: id, status, attempts, error."""
+    """One line per failed cell: id, status, attempts, error — plus the
+    indented diagnosis (``failure_log``) for deadlock/leak/stall rows."""
     failures = [row for row in rows if row.get("status") != "ok"]
     if not failures:
         return "no failures"
     lines = []
     for row in failures:
         spec = CellSpec.from_dict(row["cell"])  # type: ignore[arg-type]
+        error = str(row.get("error", "?")).splitlines() or ["?"]
         lines.append(
             f"{spec.cell_id}: {row['status']} after {row['attempts']} attempt(s): "
-            f"{row.get('error', '?')}"
+            f"{error[0]}"
         )
+        for detail in row.get("failure_log", ())[1:]:  # type: ignore[index]
+            lines.append(f"    {detail}")
     return "\n".join(lines)
 
 
@@ -104,9 +108,11 @@ class SweepResult:
     """Everything one sweep invocation produced.
 
     ``rows`` holds one structured row per cell, in grid-expansion
-    order: ``{"status": "ok"|"error"|"timeout", "cached": bool,
-    "attempts": int, "cell": {...}, "key": ..., "report": {...}}``
-    (failure rows carry ``"error"`` instead of ``"report"``).
+    order: ``{"status": "ok"|"error"|"timeout"|"deadlock"|"leak"|"stall",
+    "cached": bool, "attempts": int, "cell": {...}, "key": ...,
+    "report": {...}}`` (failure rows carry ``"error"`` instead of
+    ``"report"``; diagnosed failures also carry ``"failure_log"`` —
+    the wait-for cycle or leak audit, one line per entry).
     """
 
     grid: Dict[str, object]

@@ -54,6 +54,27 @@ class CellTimeoutError(Exception):
     """A cell exceeded its wall-clock budget."""
 
 
+def _classify_failure(error: BaseException) -> Tuple[str, str, List[str]]:
+    """Map a cell exception to ``(status, message, failure_log)``.
+
+    Deadlocked and leaky simulations get their own statuses so a sweep
+    over thousands of unattended cells reports *diagnosed* failures;
+    the wait-for cycle / leak audit carried in the exception message
+    becomes the row's ``failure_log``.  Matching is by exception name,
+    which survives worker-pool pickling of exception subclasses.
+    """
+    name = type(error).__name__
+    if name == "DeadlockError":
+        status = "deadlock"
+    elif name in ("FacilityLeakError", "StallError"):
+        status = "leak" if name == "FacilityLeakError" else "stall"
+    else:
+        status = "error"
+    message = f"{name}: {error}"
+    failure_log = [line for line in str(error).splitlines() if line]
+    return status, message, failure_log
+
+
 def _raise_timeout(signum, frame):  # pragma: no cover - signal context
     raise CellTimeoutError()
 
@@ -154,8 +175,9 @@ def _failure_row(
     status: str,
     message: str,
     attempts: int,
+    failure_log: Optional[List[str]] = None,
 ) -> Dict[str, object]:
-    return {
+    row: Dict[str, object] = {
         "status": status,
         "cached": False,
         "attempts": attempts,
@@ -163,6 +185,9 @@ def _failure_row(
         "key": key,
         "error": message,
     }
+    if failure_log:
+        row["failure_log"] = list(failure_log)
+    return row
 
 
 def run_sweep(
@@ -239,13 +264,19 @@ def run_sweep(
                     report = _invoke(fn, spec.as_dict(), timeout)
                 except CellTimeoutError:
                     status, message = "timeout", f"cell exceeded {timeout:g}s"
+                    failure_log: List[str] = []
                 except Exception as error:
-                    status, message = "error", f"{type(error).__name__}: {error}"
+                    status, message, failure_log = _classify_failure(error)
                 else:
                     record_success(index, spec, key, report, attempt)
                     break
                 if attempt > retries:
-                    settle(index, _failure_row(spec, key, status, message, attempt))
+                    settle(
+                        index,
+                        _failure_row(
+                            spec, key, status, message, attempt, failure_log
+                        ),
+                    )
                     break
                 time.sleep(backoff * 2 ** (attempt - 1))
     else:
@@ -257,8 +288,9 @@ def run_sweep(
             retries,
             backoff,
             record_success,
-            lambda index, spec, key, status, message, attempts: settle(
-                index, _failure_row(spec, key, status, message, attempts)
+            lambda index, spec, key, status, message, attempts, failure_log=None: settle(
+                index,
+                _failure_row(spec, key, status, message, attempts, failure_log),
             ),
         )
 
@@ -314,8 +346,9 @@ def _run_pool(
                     report = future.result()
                 except CellTimeoutError:
                     status, message = "timeout", f"cell exceeded {timeout:g}s"
+                    failure_log: List[str] = []
                 except BaseException as error:
-                    status, message = "error", f"{type(error).__name__}: {error}"
+                    status, message, failure_log = _classify_failure(error)
                 else:
                     record_success(index, spec, key, report, attempt)
                     continue
@@ -324,7 +357,9 @@ def _run_pool(
                         (now + backoff * 2 ** (attempt - 1), index, spec, key, attempt + 1)
                     )
                 else:
-                    record_failure(index, spec, key, status, message, attempt)
+                    record_failure(
+                        index, spec, key, status, message, attempt, failure_log
+                    )
             # Backstop: a worker the alarm could not interrupt.  Its
             # slot is lost (the pool shrinks), so no retry; the sweep
             # keeps draining and the pool is killed at the end.

@@ -19,7 +19,7 @@ from typing import List, Optional
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
-from repro.simkernel import hold
+from repro.simkernel import check_leaks, hold
 from repro.trace.log import TraceLog
 
 #: Replay modes accepted by :func:`replay_trace`.
@@ -115,6 +115,7 @@ def replay_trace(
                 ),
             )
 
-    simulator.run()
+    simulator.run(check_stall=True)
     network.finalize_metrics()
+    check_leaks(simulator)
     return network.log

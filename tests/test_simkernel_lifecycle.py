@@ -1,0 +1,503 @@
+"""Resource lifecycle and stall diagnosis regression tests.
+
+Covers the failure semantics of the kernel: the clock-rewind clamp,
+multi-server double-acquire accounting, exception-safe cleanup in
+``Facility.use`` and ``MeshNetwork.transfer``, the end-of-run leak
+audit, the deadlock detector and no-progress watchdog, sweep failure
+classification, and the ``repro doctor`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.mesh.config import MeshConfig
+from repro.mesh.netlog import NetLogRecord, NetworkLog
+from repro.mesh.network import MeshNetwork
+from repro.mesh.packet import NetworkMessage
+from repro.simkernel import (
+    DeadlockError,
+    Facility,
+    FacilityLeakError,
+    Simulator,
+    StallError,
+    check_leaks,
+    diagnose_stall,
+    hold,
+    release,
+    request,
+)
+from repro.simkernel.engine import ProcessState
+from repro.sweep import make_grid, run_sweep
+
+
+# ----------------------------------------------------------------------
+# clock semantics
+# ----------------------------------------------------------------------
+class TestClockRewind:
+    def test_second_run_with_earlier_until_does_not_rewind(self):
+        sim = Simulator()
+
+        def proc():
+            yield hold(100.0)
+
+        sim.process(proc(), name="p")
+        assert sim.run() == 100.0
+        # A stale horizon must not move the clock backwards.
+        assert sim.run(until=10.0) == 100.0
+        assert sim.now == 100.0
+
+    def test_break_path_clamps_to_current_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield hold(100.0)
+
+        sim.process(proc(), name="p")
+        assert sim.run(until=10.0) == 10.0
+        assert sim.run(until=5.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_drain_path_still_advances_to_future_until(self):
+        sim = Simulator()
+        assert sim.run(until=42.0) == 42.0
+        assert sim.run(until=7.0) == 42.0
+
+
+# ----------------------------------------------------------------------
+# multi-server accounting
+# ----------------------------------------------------------------------
+class TestDoubleAcquire:
+    def test_one_process_holding_two_servers_releases_both(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f", servers=2)
+        stages = []
+
+        def proc():
+            yield request(fac)
+            yield request(fac)
+            stages.append(("held", fac.busy, dict(sim.processes[0].held)[fac]))
+            yield hold(1.0)
+            yield release(fac)
+            stages.append(("after-one", fac.busy))
+            yield release(fac)
+            stages.append(("after-two", fac.busy))
+
+        sim.process(proc(), name="p")
+        sim.run()
+        assert stages == [("held", 2, 2), ("after-one", 1), ("after-two", 0)]
+        assert sim.leaked_facilities() == []
+
+    def test_extra_release_still_rejected(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f", servers=2)
+
+        def proc():
+            yield request(fac)
+            yield release(fac)
+            yield release(fac)
+
+        sim.process(proc(), name="p")
+        with pytest.raises(RuntimeError, match="does not hold"):
+            sim.run()
+
+
+# ----------------------------------------------------------------------
+# exception-safe cleanup
+# ----------------------------------------------------------------------
+class TestUseCleanup:
+    def test_shutdown_mid_hold_releases_the_server(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def user():
+            yield from fac.use(100.0)
+
+        proc = sim.process(user(), name="u")
+        sim.run(until=10.0)
+        assert fac.busy == 1
+        terminated = sim.shutdown()
+        assert proc in terminated
+        assert proc.state is ProcessState.FAILED
+        assert fac.busy == 0
+        assert sim.leaked_facilities(include_live=True) == []
+
+    def test_failure_mid_hold_releases_the_server(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def user():
+            yield from fac.use(5.0)
+
+        def saboteur():
+            yield hold(1.0)
+            raise RuntimeError("injected fault")
+
+        sim.process(user(), name="u")
+        sim.process(saboteur(), name="s")
+        with pytest.raises(RuntimeError, match="injected fault"):
+            sim.run()
+        # The holder is still live (suspended); shutdown unwinds it.
+        sim.shutdown()
+        assert fac.busy == 0
+        assert sim.leaked_facilities(include_live=True) == []
+
+
+class TestTransferCleanup:
+    def _network(self):
+        sim = Simulator()
+        net = MeshNetwork(sim, MeshConfig(width=2, height=2))
+        return sim, net
+
+    def test_raising_delivery_handler_leaves_no_leaks(self):
+        sim, net = self._network()
+
+        def bad_handler(message, record):
+            raise RuntimeError("handler blew up")
+
+        net.register_handler(3, bad_handler)
+
+        def sender(src, dst):
+            yield from net.transfer(
+                NetworkMessage(src=src, dst=dst, length_bytes=64, kind="data")
+            )
+
+        # Two overlapping transfers: one hits the raising handler while
+        # the other is still holding channels mid-flight.
+        sim.process(sender(0, 3), name="doomed")
+        sim.process(sender(1, 2), name="bystander")
+        with pytest.raises(RuntimeError, match="handler blew up"):
+            sim.run()
+        sim.shutdown()
+        assert sim.leaked_facilities(include_live=True) == []
+        assert net.in_flight == 0
+        assert net.leaked_facilities(include_live=True) == []
+
+    def test_shutdown_mid_transfer_restores_in_flight(self):
+        sim, net = self._network()
+
+        def sender():
+            yield from net.transfer(
+                NetworkMessage(src=0, dst=3, length_bytes=4096, kind="data")
+            )
+
+        sim.process(sender(), name="s")
+        sim.run(until=net.config.injection_time / 2.0)
+        assert net.in_flight == 1
+        sim.shutdown()
+        assert net.in_flight == 0
+        assert sim.leaked_facilities(include_live=True) == []
+
+
+# ----------------------------------------------------------------------
+# leak audit
+# ----------------------------------------------------------------------
+class TestLeakAudit:
+    def test_finish_while_holding_is_reported_and_raises(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def leaker():
+            yield request(fac)
+            # Finishes without releasing: an unfixable leak.
+
+        proc = sim.process(leaker(), name="leaker")
+        sim.run()
+        leaks = sim.leaked_facilities()
+        assert leaks == [(proc, fac, 1)]
+        with pytest.raises(FacilityLeakError, match="leaker.*holds 1 server"):
+            check_leaks(sim)
+
+    def test_live_holders_not_reported_by_default(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def user():
+            yield from fac.use(100.0)
+
+        sim.process(user(), name="u")
+        sim.run(until=10.0)
+        assert sim.leaked_facilities() == []
+        assert sim.leaked_facilities(include_live=True) != []
+        sim.shutdown()
+
+
+# ----------------------------------------------------------------------
+# deadlock detection
+# ----------------------------------------------------------------------
+class TestDeadlockDetection:
+    def test_adaptive_mesh_channel_ring_raises_with_cycle(self):
+        sim = Simulator()
+        net = MeshNetwork(
+            sim,
+            MeshConfig(width=2, height=2, routing="adaptive", virtual_channels=2),
+        )
+        # Well-formed adaptive transfers are deadlock-free by design, so
+        # drive the network's channel facilities directly: a two-process
+        # ring acquiring ch[0->1] and ch[1->3] in opposite orders.
+        c01 = net.channel(0, 1)
+        c13 = net.channel(1, 3)
+
+        def grabber(first, second):
+            yield request(first)
+            yield hold(1.0)
+            yield request(second)
+
+        sim.process(grabber(c01, c13), name="east-first")
+        sim.process(grabber(c13, c01), name="north-first")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(check_stall=True)
+        error = excinfo.value
+        assert set(error.cycle) == {"east-first", "north-first"}
+        assert "wait-for cycle" in str(error)
+        assert "east-first" in str(error) and "north-first" in str(error)
+        assert "ch[0->1" in str(error) or "ch[1->3" in str(error)
+
+    def test_self_deadlock_on_single_server_facility(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def greedy():
+            yield request(fac)
+            yield request(fac)  # single server: waits on itself forever
+
+        sim.process(greedy(), name="greedy")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(check_stall=True)
+        assert excinfo.value.cycle == ("greedy",)
+
+    def test_clean_run_unaffected_by_check_stall(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def user():
+            yield from fac.use(2.0)
+
+        sim.process(user(), name="u")
+        assert sim.run(check_stall=True) == 2.0
+
+    def test_deadlock_error_pickles_with_cycle(self):
+        import pickle
+
+        error = DeadlockError("msg", cycle=("a", "b"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, DeadlockError)
+        assert clone.cycle == ("a", "b")
+        assert str(clone) == "msg"
+
+    def test_diagnose_stall_names_blocked_processes(self):
+        sim = Simulator()
+        fac = Facility(sim, name="f")
+
+        def holder():
+            yield request(fac)
+            yield hold(1.0)
+
+        def waiter():
+            yield request(fac)
+            yield release(fac)
+
+        sim.process(holder(), name="holder")
+        sim.process(waiter(), name="waiter")
+        sim.run(until=0.5)
+        diagnosis = diagnose_stall(sim)
+        assert [p.name for p in diagnosis.blocked] == ["waiter"]
+        assert "waiter: waiting on Facility('f') held by 'holder'" in (
+            diagnosis.describe()
+        )
+        sim.shutdown()
+
+
+class TestWatchdog:
+    def test_zero_delay_storm_raises_stall_error(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield hold(0.0)
+
+        sim.process(spinner(), name="spinner")
+        with pytest.raises(StallError, match="no simulated-time progress"):
+            sim.run(max_no_progress_events=100)
+
+    def test_watchdog_tolerates_progressing_runs(self):
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(500):
+                yield hold(0.01)
+
+        sim.process(ticker(), name="t")
+        sim.run(max_no_progress_events=10)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_bad_threshold_rejected(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError, match="max_no_progress_events"):
+            sim.run(max_no_progress_events=0)
+
+
+# ----------------------------------------------------------------------
+# offered rate vs throughput
+# ----------------------------------------------------------------------
+class TestOfferedRate:
+    def _saturated_log(self):
+        log = NetworkLog()
+        for i in range(10):
+            log.add(
+                NetLogRecord(
+                    msg_id=i,
+                    src=0,
+                    dst=1,
+                    length_bytes=64,
+                    kind="data",
+                    inject_time=float(i),
+                    start_time=float(i),
+                    deliver_time=109.0 if i == 9 else float(i + 1),
+                    contention=0.0,
+                    hops=1,
+                )
+            )
+        return log
+
+    def test_offered_rate_uses_injection_window(self):
+        log = self._saturated_log()
+        assert log.injection_span() == 9.0
+        assert log.span() == 109.0
+        # Offered load over the injection window, not the drain-heavy
+        # full span; throughput keeps the full-span denominator.
+        assert log.offered_rate() == pytest.approx(10.0 / 9.0)
+        assert log.throughput() == pytest.approx(10.0 / 109.0)
+
+    def test_degenerate_logs_report_zero(self):
+        empty = NetworkLog()
+        assert empty.offered_rate() == 0.0
+        assert empty.throughput() == 0.0
+
+
+# ----------------------------------------------------------------------
+# sweep failure classification
+# ----------------------------------------------------------------------
+def _deadlocked_cell(doc):
+    raise DeadlockError(
+        "stall at t=5: 2 process(es) blocked\nwait-for cycle: a -> f (held by b)",
+        cycle=("a", "b"),
+    )
+
+
+def _leaky_cell(doc):
+    raise FacilityLeakError("1 leaked facility holding(s):\n  p still holds 1 server")
+
+
+class TestSweepClassification:
+    def _grid(self):
+        return make_grid(
+            apps=("1d-fft",),
+            app_params={"1d-fft": {"n": 32}},
+            meshes=("2x2",),
+            messages_per_source=10,
+        )
+
+    def test_deadlock_cell_yields_structured_row(self):
+        result = run_sweep(self._grid(), jobs=1, cache=None, cell_fn=_deadlocked_cell)
+        (row,) = result.rows
+        assert row["status"] == "deadlock"
+        assert row["error"].startswith("DeadlockError:")
+        assert any("wait-for cycle" in line for line in row["failure_log"])
+        assert "wait-for cycle" in result.describe()
+
+    def test_leak_cell_yields_structured_row(self):
+        result = run_sweep(self._grid(), jobs=1, cache=None, cell_fn=_leaky_cell)
+        (row,) = result.rows
+        assert row["status"] == "leak"
+        assert row["error"].startswith("FacilityLeakError:")
+        assert any("still holds" in line for line in row["failure_log"])
+
+
+# ----------------------------------------------------------------------
+# the doctor CLI
+# ----------------------------------------------------------------------
+class TestDoctorCLI:
+    def test_healthy_csv(self, tmp_path, capsys):
+        log = NetworkLog()
+        log.add(
+            NetLogRecord(
+                msg_id=0, src=0, dst=1, length_bytes=64, kind="data",
+                inject_time=0.0, start_time=0.0, deliver_time=5.0,
+                contention=1.0, hops=1,
+            )
+        )
+        log.add(
+            NetLogRecord(
+                msg_id=1, src=1, dst=0, length_bytes=64, kind="data",
+                inject_time=4.0, start_time=4.0, deliver_time=7.0,
+                contention=0.0, hops=1,
+            )
+        )
+        path = str(tmp_path / "log.csv")
+        log.write_csv(path)
+        assert main(["doctor", path]) == 0
+        out = capsys.readouterr().out
+        assert "activity log" in out and "healthy" in out
+
+    def test_drain_dominated_csv_flags_problem(self, tmp_path, capsys):
+        log = NetworkLog()
+        for i in range(5):
+            log.add(
+                NetLogRecord(
+                    msg_id=i, src=0, dst=1, length_bytes=64, kind="data",
+                    inject_time=float(i), start_time=float(i),
+                    deliver_time=100.0 + i, contention=50.0, hops=1,
+                )
+            )
+        path = str(tmp_path / "saturated.csv")
+        log.write_csv(path)
+        assert main(["doctor", path]) == 1
+        out = capsys.readouterr().out
+        assert "drain time dominates" in out
+        assert "problem(s) found" in out
+
+    def test_sweep_report_with_deadlock_row(self, tmp_path, capsys):
+        result = run_sweep(
+            make_grid(
+                apps=("1d-fft",),
+                app_params={"1d-fft": {"n": 32}},
+                meshes=("2x2",),
+                messages_per_source=10,
+            ),
+            jobs=1,
+            cache=None,
+            cell_fn=_deadlocked_cell,
+        )
+        path = str(tmp_path / "sweep.json")
+        result.write_json(path)
+        assert main(["doctor", path]) == 1
+        out = capsys.readouterr().out
+        assert "sweep report" in out
+        assert "1 deadlock" in out
+        assert "wait-for cycle" in out
+
+    def test_run_report_with_leak_metric(self, tmp_path, capsys):
+        doc = {
+            "schema": 1,
+            "app": "1d-fft",
+            "messages": 10,
+            "sim_span": 50.0,
+            "wall_seconds": 0.1,
+            "metrics": {"net.leaked_facilities": {"value": 2}},
+        }
+        path = str(tmp_path / "report.json")
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        assert main(["doctor", path]) == 1
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "2 facility server(s) leaked" in out
+
+    def test_unrecognized_artifact_errors(self, tmp_path, capsys):
+        path = str(tmp_path / "junk.json")
+        with open(path, "w") as handle:
+            json.dump({"what": "ever"}, handle)
+        assert main(["doctor", path]) == 2
+        assert "unrecognized artifact" in capsys.readouterr().err
