@@ -32,10 +32,14 @@ class LoadPoint:
         Characterized rate times the multiplier (what the sources try
         to inject).
     achieved_rate:
-        Measured injections per unit time.  Sources are closed-loop
+        Measured deliveries per unit time over the full run span
+        (:meth:`~repro.mesh.netlog.NetworkLog.throughput`), i.e. the
+        rate the network actually sustained.  Sources are closed-loop
         (they block while their message drains), so past saturation
         the achieved rate plateaus at the network's capacity instead
-        of latency diverging.
+        of latency diverging -- the knee ``sweep_load`` detects via
+        ``efficiency_threshold``.  The offered load over the injection
+        window is the log's ``offered_rate()``.
     mean_latency, mean_contention:
         Network-level outcomes at this load.
     """
@@ -128,7 +132,7 @@ def measure_load_point(
     point = LoadPoint(
         rate_scale=rate_scale,
         requested_rate=characterization.temporal.rate * rate_scale,
-        achieved_rate=log.offered_rate(),
+        achieved_rate=log.throughput(),
         mean_latency=log.mean_latency(),
         mean_contention=log.mean_contention(),
     )

@@ -26,7 +26,7 @@ or leak has already been detected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.simkernel.engine import Process, ProcessState, SimulationError, Simulator
 
@@ -139,39 +139,49 @@ def _edges_for(proc: Process, simulator: Simulator) -> List[WaitEdge]:
 def _find_cycle(
     adjacency: Dict[Process, List[WaitEdge]]
 ) -> Tuple[WaitEdge, ...]:
-    """First wait-for cycle found by DFS, as the edges along it."""
+    """First wait-for cycle found by DFS, as the edges along it.
+
+    Iterative (explicit stack): a blocked chain can be thousands of
+    processes deep, far past Python's default recursion limit.
+    """
     WHITE, GREY, BLACK = 0, 1, 2
     color: Dict[Process, int] = {}
     path: List[WaitEdge] = []
 
-    def visit(node: Process) -> Optional[List[WaitEdge]]:
-        color[node] = GREY
-        for edge in adjacency.get(node, ()):
-            holder = edge.holder
-            if holder is None:
-                continue
-            state = color.get(holder, WHITE)
-            if state is GREY:
-                # Back edge: the cycle is this edge plus the path tail
-                # from the holder onwards.
-                start = next(
-                    i for i, e in enumerate(path) if e.waiter is holder
-                ) if any(e.waiter is holder for e in path) else len(path)
-                return path[start:] + [edge]
-            if state is WHITE and holder in adjacency:
-                path.append(edge)
-                found = visit(holder)
-                path.pop()
-                if found is not None:
-                    return found
-        color[node] = BLACK
-        return None
-
-    for node in adjacency:
-        if color.get(node, WHITE) is WHITE:
-            found = visit(node)
-            if found is not None:
-                return tuple(found)
+    for root in adjacency:
+        if color.get(root, WHITE) is not WHITE:
+            continue
+        color[root] = GREY
+        stack: List[Tuple[Process, Iterator[WaitEdge]]] = [
+            (root, iter(adjacency.get(root, ())))
+        ]
+        while stack:
+            node, edge_iter = stack[-1]
+            descended = False
+            for edge in edge_iter:
+                holder = edge.holder
+                if holder is None:
+                    continue
+                state = color.get(holder, WHITE)
+                if state is GREY:
+                    # Back edge: the cycle is this edge plus the path
+                    # tail from the holder onwards.
+                    start = next(
+                        (i for i, e in enumerate(path) if e.waiter is holder),
+                        len(path),
+                    )
+                    return tuple(path[start:] + [edge])
+                if state is WHITE and holder in adjacency:
+                    color[holder] = GREY
+                    path.append(edge)
+                    stack.append((holder, iter(adjacency.get(holder, ()))))
+                    descended = True
+                    break
+            if not descended:
+                color[node] = BLACK
+                stack.pop()
+                if stack:
+                    path.pop()
     return ()
 
 

@@ -338,30 +338,65 @@ class Simulator:
         Each live generator is closed (``GeneratorExit``), which runs
         the ``try/finally`` cleanup in :meth:`Facility.use` and
         :meth:`MeshNetwork.transfer` so held facilities are released
-        and in-flight gauges restored.  Processes parked on a facility
-        queue, mailbox, or event are removed from it first.  Returns
-        the processes that were terminated (state FAILED, error set to
-        a truncation :class:`SimulationError`).
+        and in-flight gauges restored.  Returns the processes that
+        were terminated (state FAILED, error set to a truncation
+        :class:`SimulationError`).
+
+        Teardown is two-phase.  First every blocked process is pulled
+        off whatever queue it is parked on (facility queue, mailbox,
+        event) *before* any generator is closed: closing a holder runs
+        its cleanup release, and a release hands the server straight to
+        the next queued requester -- a requester still suspended at its
+        request yield would then hold a server its own unwind path
+        cannot see.  Second, after each close, any servers still
+        recorded in the process's held map are abandoned; this covers
+        the window where a server was granted but the grantee's resume
+        event never fired (a run truncated by ``stop()``/watchdog, or a
+        generator that swallowed ``GeneratorExit``).
+
+        A generator whose cleanup raises does not abort the teardown:
+        every process is still closed and the event queue cleared, then
+        a :class:`SimulationError` is raised carrying the collected
+        exceptions in its ``errors`` attribute.
         """
         if self._running:
             raise SimulationError("cannot shutdown() while the simulator is running")
-        terminated: List[Process] = []
-        for proc in self._processes:
-            if proc.finished:
-                continue
+        live = [p for p in self._processes if not p.finished]
+        for proc in live:
             cancel = getattr(proc.waiting_on, "_cancel", None)
             if cancel is not None:
                 cancel(proc)
             proc.waiting_on = None
+        terminated: List[Process] = []
+        errors: List[Tuple[Process, BaseException]] = []
+        for proc in live:
             try:
                 proc._body.close()
+            except BaseException as exc:  # noqa: BLE001 - teardown must finish
+                errors.append((proc, exc))
             finally:
                 proc.state = ProcessState.FAILED
                 proc.error = SimulationError(
                     f"process {proc.name!r} truncated by shutdown()"
                 )
+                for resource in list(proc._held):
+                    abandon = getattr(resource, "_abandon", None)
+                    if abandon is None:
+                        del proc._held[resource]
+                        continue
+                    while proc._held.get(resource, 0) > 0:
+                        abandon(proc)
             terminated.append(proc)
         self._queue.clear()
+        if errors:
+            summary = "; ".join(
+                f"{proc.name!r}: {type(exc).__name__}: {exc}" for proc, exc in errors
+            )
+            error = SimulationError(
+                f"{len(errors)} process(es) raised during shutdown(): {summary}"
+            )
+            error.errors = errors  # type: ignore[attr-defined]
+            raise error from errors[0][1]
         return terminated
 
     # ------------------------------------------------------------------

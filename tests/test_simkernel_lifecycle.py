@@ -144,6 +144,137 @@ class TestUseCleanup:
         assert sim.leaked_facilities(include_live=True) == []
 
 
+class TestShutdownRegrant:
+    """``shutdown()`` must not leak servers re-granted during teardown.
+
+    Closing a holder's generator runs its cleanup release, which hands
+    the server to the next queued requester; that requester is still
+    suspended at its request yield (the grant is outside ``use()``'s
+    try block and not in ``transfer()``'s acquired list), so closing it
+    too must not strand the server.
+    """
+
+    def test_contended_facility_survives_truncated_run(self):
+        sim = Simulator()
+        fac = Facility(sim, name="chan")
+
+        def worker():
+            yield from fac.use(10.0)
+
+        sim.process(worker(), name="holder")
+        sim.process(worker(), name="waiter")
+        sim.run(until=5.0)
+        assert fac.busy == 1 and fac.queue_length == 1
+        sim.shutdown()
+        assert fac.busy == 0 and fac.queue_length == 0
+        check_leaks(sim)
+        assert sim.leaked_facilities(include_live=True) == []
+
+    def test_contended_transfer_survives_truncated_run(self):
+        sim = Simulator()
+        net = MeshNetwork(sim, MeshConfig(width=2, height=2))
+
+        def sender(name):
+            yield from net.transfer(
+                NetworkMessage(src=0, dst=3, length_bytes=4096, kind="data")
+            )
+
+        sim.process(sender("s1"), name="s1")
+        sim.process(sender("s2"), name="s2")
+        # Mid-flight: s1 holds the source NI plus channels, s2 is
+        # queued on the NI -- the exact re-grant hazard.
+        sim.run(until=2.0)
+        assert net._injection[0].queue_length == 1
+        sim.shutdown()
+        check_leaks(sim)
+        assert net.in_flight == 0
+        assert net.leaked_facilities(include_live=True) == []
+
+    def test_granted_but_unresumed_server_is_swept(self):
+        # The watchdog truncates the run after the grant fired but
+        # before the grantee's resume event ran: the server is in the
+        # process's held map while its generator still sits at the
+        # request yield, invisible to the unwind path.
+        sim = Simulator()
+        fac = Facility(sim, name="chan")
+
+        def worker():
+            yield from fac.use(1.0)
+
+        sim.process(worker(), name="w")
+        with pytest.raises(StallError):
+            sim.run(max_no_progress_events=1)
+        assert fac.busy == 1  # granted, resume event still queued
+        sim.shutdown()
+        assert fac.busy == 0
+        check_leaks(sim)
+
+    def test_truncated_synthetic_generation_checks_clean(self):
+        # generate(until=...) wires run -> shutdown -> check_leaks; a
+        # truncated run with contention must not trip the leak audit.
+        from repro.core import SyntheticTrafficGenerator, characterize_log
+
+        # All-pairs traffic so fitted spatial patterns share channels:
+        # cross-source channel contention at the truncation instant is
+        # what used to trip the re-grant leak.
+        source_log = NetworkLog()
+        msg_id = 0
+        for src in range(4):
+            for dst in range(4):
+                if dst == src:
+                    continue
+                for _ in range(4):
+                    source_log.add(
+                        NetLogRecord(
+                            msg_id=msg_id,
+                            src=src,
+                            dst=dst,
+                            length_bytes=1024,
+                            kind="data",
+                            inject_time=float(msg_id),
+                            start_time=float(msg_id),
+                            deliver_time=float(msg_id + 2),
+                            contention=0.0,
+                            hops=1,
+                        )
+                    )
+                    msg_id += 1
+        mesh = MeshConfig(width=2, height=2)
+        characterization = characterize_log(source_log, mesh)
+        generator = SyntheticTrafficGenerator(
+            characterization,
+            mesh_config=mesh,
+            seed=1,
+            rate_scale=16.0,
+        )
+        log = generator.generate(messages_per_source=60, until=8.0)
+        assert all(r.inject_time <= 8.0 for r in log)
+
+    def test_raising_cleanup_does_not_abort_teardown(self):
+        sim = Simulator()
+
+        def bad():
+            try:
+                yield hold(10.0)
+            finally:
+                raise ValueError("boom")
+
+        def good():
+            yield hold(10.0)
+
+        bad_proc = sim.process(bad(), name="bad")
+        good_proc = sim.process(good(), name="good")
+        sim.run(until=5.0)
+        with pytest.raises(RuntimeError, match="raised during shutdown.*boom") as excinfo:
+            sim.shutdown()
+        # Every process was still unwound and the queue cleared.
+        assert bad_proc.state is ProcessState.FAILED
+        assert good_proc.state is ProcessState.FAILED
+        assert len(sim._queue) == 0
+        (failed, cause), = excinfo.value.errors
+        assert failed is bad_proc and isinstance(cause, ValueError)
+
+
 class TestTransferCleanup:
     def _network(self):
         sim = Simulator()
@@ -267,6 +398,27 @@ class TestDeadlockDetection:
             sim.run(check_stall=True)
         assert excinfo.value.cycle == ("greedy",)
 
+    def test_deep_ring_diagnosed_without_recursion_error(self):
+        # The wait-for cycle search must not recurse: a blocked chain
+        # deeper than Python's recursion limit previously raised
+        # RecursionError instead of the DeadlockError diagnosis.
+        import sys
+
+        sim = Simulator()
+        n = sys.getrecursionlimit() + 100
+        facs = [Facility(sim, name=f"f{i}") for i in range(n)]
+
+        def link(i):
+            yield request(facs[i])
+            yield hold(1.0)
+            yield request(facs[(i + 1) % n])
+
+        for i in range(n):
+            sim.process(link(i), name=f"p{i}")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(check_stall=True)
+        assert len(excinfo.value.cycle) == n
+
     def test_clean_run_unaffected_by_check_stall(self):
         sim = Simulator()
         fac = Facility(sim, name="f")
@@ -374,6 +526,62 @@ class TestOfferedRate:
         empty = NetworkLog()
         assert empty.offered_rate() == 0.0
         assert empty.throughput() == 0.0
+
+    def test_load_point_and_validation_keep_delivered_rate_semantics(self):
+        # LoadPoint.achieved_rate and ValidationReport rates stay
+        # delivered-per-span (throughput): the saturation knee that
+        # sweep_load's efficiency_threshold detects and the validation
+        # tolerances were calibrated against that quantity, not the
+        # injection-window offered rate.
+        from repro.core import compare_logs
+        from repro.core.loadsweep import LoadPoint
+
+        log = self._saturated_log()
+        report = compare_logs(log, log)
+        assert report.original_rate == pytest.approx(log.throughput())
+        assert report.original_rate != pytest.approx(log.offered_rate())
+        point = LoadPoint(
+            rate_scale=1.0,
+            requested_rate=1.0,
+            achieved_rate=log.throughput(),
+            mean_latency=log.mean_latency(),
+            mean_contention=log.mean_contention(),
+        )
+        # Drain-dominated log: the delivered rate is what collapses at
+        # saturation, which is the efficiency signal.
+        assert point.efficiency == pytest.approx(10.0 / 109.0)
+
+    def test_measure_load_point_reports_delivered_rate(self):
+        from repro.core import characterize_log
+        from repro.core.loadsweep import measure_load_point
+
+        source_log = NetworkLog()
+        for i in range(30):
+            src = i % 2
+            source_log.add(
+                NetLogRecord(
+                    msg_id=i,
+                    src=src,
+                    dst=1 - src,
+                    length_bytes=64,
+                    kind="data",
+                    inject_time=float(2 * i),
+                    start_time=float(2 * i),
+                    deliver_time=float(2 * i + 1),
+                    contention=0.0,
+                    hops=1,
+                )
+            )
+        mesh = MeshConfig(width=2, height=1)
+        measurement = measure_load_point(
+            characterize_log(source_log, mesh),
+            mesh_config=mesh,
+            messages_per_source=10,
+            seed=5,
+        )
+        assert measurement.point.achieved_rate == pytest.approx(
+            measurement.log.throughput()
+        )
 
 
 # ----------------------------------------------------------------------
