@@ -19,11 +19,14 @@ Usage (via ``python -m repro``):
     $ python -m repro sweep report sweep.json --value achieved_rate
     $ python -m repro doctor sweep.json
     $ python -m repro doctor run-log.csv.gz
+    $ python -m repro characterize 1d-fft --param n=256 --log-npz log.npz
+    $ python -m repro doctor log.npz
 
 ``characterize`` runs the right strategy for the application (dynamic
 for shared memory, static for message passing), prints the
 three-attribute report, and can persist the network activity log as
-CSV for external analysis.  ``--metrics`` turns on the observability
+CSV (``--log-csv``, for external analysis) or as a compressed columnar
+``.npz`` (``--log-npz``, the fast binary path for sweep-scale logs).  ``--metrics`` turns on the observability
 layer and writes every counter/gauge/histogram/time-series to JSON;
 ``--timeline`` writes a Chrome trace-event file loadable in Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing``; ``--report`` writes
@@ -147,6 +150,9 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     if args.log_csv:
         run.log.write_csv(args.log_csv)
         print(f"\nactivity log written to {args.log_csv}")
+    if args.log_npz:
+        run.log.write_npz(args.log_npz)
+        print(f"\nactivity log written to {args.log_npz} (columnar npz)")
     if args.metrics:
         obs.write_json(
             args.metrics,
@@ -298,6 +304,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     if path.endswith(".csv") or path.endswith(".csv.gz"):
         lines, problems = netlog_health(NetworkLog.read_csv(path))
         kind = "activity log"
+    elif path.endswith(".npz"):
+        lines, problems = netlog_health(NetworkLog.read_npz(path))
+        kind = "activity log"
     else:
         with (open(path) if not path.endswith(".gz") else _gz_open(path)) as handle:
             doc = json.load(handle)
@@ -364,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the activity log here (.csv or .csv.gz)",
     )
     characterize.add_argument(
+        "--log-npz", default=None,
+        help="write the activity log here as columnar .npz (fast binary)",
+    )
+    characterize.add_argument(
         "--metrics", default=None,
         help="enable observability and write the metrics JSON here",
     )
@@ -402,7 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="diagnose a saved log or report (deadlocks, leaks, drain stalls)",
     )
     doctor.add_argument(
-        "path", help="activity log (.csv/.csv.gz), run report or sweep report JSON"
+        "path",
+        help="activity log (.csv/.csv.gz/.npz), run report or sweep report JSON",
     )
     doctor.set_defaults(handler=cmd_doctor)
 

@@ -129,12 +129,13 @@ def measure_load_point(
         rate_scale=rate_scale,
     )
     log = generator.generate(messages_per_source=messages_per_source)
+    stats = log.summary()
     point = LoadPoint(
         rate_scale=rate_scale,
         requested_rate=characterization.temporal.rate * rate_scale,
-        achieved_rate=log.throughput(),
-        mean_latency=log.mean_latency(),
-        mean_contention=log.mean_contention(),
+        achieved_rate=stats.throughput,
+        mean_latency=stats.mean_latency,
+        mean_contention=stats.mean_contention,
     )
     return LoadMeasurement(point=point, log=log)
 

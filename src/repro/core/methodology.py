@@ -69,6 +69,9 @@ def characterize_log(
     per_source_temporal: bool = False,
 ) -> CommunicationCharacterization:
     """Analyze an existing network activity log into the three attributes."""
+    # Flush staged records into the columnar buffers once, up front, so
+    # the three analyses below run on sealed columns.
+    log.seal()
     return CommunicationCharacterization(
         app_name=app_name,
         strategy=strategy,

@@ -5,8 +5,6 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict
 
-import numpy as np
-
 from repro.core.attributes import SpatialCharacterization
 from repro.mesh.netlog import NetworkLog
 from repro.stats.spatial_models import SpatialFit, classify_spatial
@@ -23,12 +21,12 @@ def analyze_spatial(
     (uniform / bimodal uniform / locality decay).
     """
     num_nodes = width * height
-    matrix = np.zeros((num_nodes, num_nodes))
+    # One vectorized pass builds every source's fraction row; the
+    # per-source loop below only runs the pattern classification.
+    matrix = log.destination_fraction_matrix(num_nodes)
     per_source: Dict[int, SpatialFit] = {}
     for src in log.sources():
-        fractions = log.destination_fractions(src, num_nodes)
-        matrix[src] = fractions
-        fits = classify_spatial(fractions, src=src, width=width, height=height)
+        fits = classify_spatial(matrix[src], src=src, width=width, height=height)
         per_source[src] = fits[0]
     if not per_source:
         raise ValueError("log contains no messages; nothing to classify")

@@ -149,6 +149,7 @@ class SyntheticTrafficGenerator:
         if until is not None:
             simulator.shutdown()
         check_leaks(simulator)
+        network.log.seal()
         return network.log
 
 
@@ -252,4 +253,5 @@ class PhaseCoupledTrafficGenerator:
         simulator.process(driver(), name="burst-driver")
         simulator.run(check_stall=True)
         check_leaks(simulator)
+        network.log.seal()
         return network.log

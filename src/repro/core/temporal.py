@@ -43,8 +43,9 @@ def analyze_temporal(
     per_source_fits = {}
     per_source_means = {}
     if per_source:
-        for src in log.sources():
-            series = log.interarrival_times(src)
+        # Grouped series come from one pass over the cached per-source
+        # index instead of a full-column scan per source.
+        for src, series in log.interarrivals_by_source().items():
             if series.size >= MIN_SOURCE_SAMPLE:
                 per_source_fits[src] = fit_distribution(
                     series, candidates=candidates, bins=bins

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict
 
 import numpy as np
@@ -22,15 +21,18 @@ def analyze_volume(log: NetworkLog, num_nodes: int) -> VolumeCharacterization:
     if len(log) == 0:
         raise ValueError("log contains no messages; nothing to quantify")
     lengths = log.message_lengths()
-    counts = Counter(int(r.length_bytes) for r in log)
     total = len(log)
-    length_fractions = {size: n / total for size, n in sorted(counts.items())}
+    length_fractions = {
+        size: n / total for size, n in log.length_counts().items()
+    }
 
-    volume_matrix = np.zeros((num_nodes, num_nodes))
-    per_source_messages: Dict[int, int] = {}
-    for src in log.sources():
-        volume_matrix[src] = log.volume_fractions(src, num_nodes)
-        per_source_messages[src] = int(log.destination_counts(src, num_nodes).sum())
+    # Both matrices come from single bincount passes over the columns;
+    # per-source message totals are row sums of the count matrix.
+    volume_matrix = log.volume_fraction_matrix(num_nodes)
+    count_matrix = log.destination_count_matrix(num_nodes)
+    per_source_messages: Dict[int, int] = {
+        src: int(count_matrix[src].sum()) for src in log.sources()
+    }
 
     return VolumeCharacterization(
         message_count=total,

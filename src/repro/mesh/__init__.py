@@ -20,7 +20,7 @@ Public surface:
 """
 
 from repro.mesh.config import MeshConfig
-from repro.mesh.netlog import NetLogRecord, NetworkLog
+from repro.mesh.netlog import LogSummary, NetLogFormatError, NetLogRecord, NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
 from repro.mesh.patterns import (
@@ -49,9 +49,11 @@ __all__ = [
     "Hop",
     "HotspotTraffic",
     "HypercubeTopology",
+    "LogSummary",
     "MeshConfig",
     "MeshNetwork",
     "MeshTopology",
+    "NetLogFormatError",
     "NetLogRecord",
     "NetworkLog",
     "NetworkMessage",

@@ -1,12 +1,37 @@
-"""The network activity log.
+"""The network activity log (columnar).
 
 Everything the characterization methodology analyzes comes from this
 log: "From this log, we obtain the source-destination information of
 the messages along with the message length and time of injection."
-Each delivered message contributes one :class:`NetLogRecord`; the
-:class:`NetworkLog` offers the derived views (inter-arrival series,
-destination histograms, length histograms) that the statistics package
-consumes.
+Each delivered message contributes one :class:`NetLogRecord` worth of
+fields; the :class:`NetworkLog` offers the derived views (inter-arrival
+series, destination histograms, length histograms) that the statistics
+package consumes.
+
+Storage is struct-of-arrays, not row objects:
+
+* **Collection** stays cheap: :meth:`NetworkLog.add` stages the
+  record's fields into a pending row list (one tuple append per
+  delivery, no per-append numpy cost).
+* **Sealing** is amortized: the first derived view after a mutation
+  flushes pending rows into preallocated, doubling numpy column
+  buffers, so each record crosses the Python/numpy boundary exactly
+  once (:meth:`NetworkLog.seal`).
+* **Analysis** is vectorized: every derived view is an
+  argsort/bincount/ufunc reduction over the sealed columns, and the
+  memoized per-source index, row materializations, and group views are
+  discarded wholesale whenever the log mutates.
+
+Row-shaped accessors (:attr:`NetworkLog.records`, ``__iter__``,
+:meth:`NetworkLog.by_source`) still return :class:`NetLogRecord`
+objects, materialized lazily from the columns, so existing consumers
+keep working unchanged.  The legacy row-at-a-time implementation
+survives as the equivalence oracle in :mod:`repro.mesh.netlog_rows`.
+
+Persistence: :meth:`NetworkLog.write_csv` / :meth:`NetworkLog.read_csv`
+remain the interchange format (gzip-transparent); ``write_npz`` /
+``read_npz`` store the columns directly as a compressed ``.npz`` for
+fast binary round trips at sweep scale.
 """
 
 from __future__ import annotations
@@ -14,7 +39,7 @@ from __future__ import annotations
 import csv
 import gzip
 from dataclasses import dataclass, fields
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +50,15 @@ def _open_csv(path: str, mode: str):
     if str(path).endswith(".gz"):
         return gzip.open(path, mode + "t", newline="")
     return open(path, mode, newline="")
+
+
+class NetLogFormatError(ValueError):
+    """A persisted activity log (CSV or npz) that cannot be parsed.
+
+    The message names the offending path and, for row-level problems,
+    the 1-based row number, so truncated or schema-drifted files fail
+    with an actionable diagnosis instead of a raw ``KeyError``.
+    """
 
 
 @dataclass(frozen=True)
@@ -76,67 +110,297 @@ class NetLogRecord:
         return self.deliver_time - self.start_time
 
 
+@dataclass(frozen=True)
+class LogSummary:
+    """Every scalar summary metric of a log, computed in one pass.
+
+    Built by :meth:`NetworkLog.summary`; run-report builders and the
+    load sweep read this instead of calling the per-metric accessors
+    one by one (each of which scans the columns).
+    """
+
+    messages: int
+    total_bytes: int
+    span: float
+    injection_span: float
+    mean_latency: float
+    mean_contention: float
+    offered_rate: float
+    throughput: float
+
+
+#: Columnar schema, in :class:`NetLogRecord` field order.  ``kind`` is
+#: dictionary-encoded: the column stores int32 codes indexing the log's
+#: kind vocabulary (tag strings in first-appearance order).
+_SCHEMA: Tuple[Tuple[str, type], ...] = (
+    ("msg_id", np.int64),
+    ("src", np.int64),
+    ("dst", np.int64),
+    ("length_bytes", np.int64),
+    ("kind", np.int32),
+    ("inject_time", np.float64),
+    ("start_time", np.float64),
+    ("deliver_time", np.float64),
+    ("contention", np.float64),
+    ("hops", np.int64),
+)
+
+_CSV_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(NetLogRecord))
+
+#: Index of the ``kind`` column within :data:`_SCHEMA` row tuples.
+_KIND_POS = [name for name, _ in _SCHEMA].index("kind")
+
+
+class _LogViews:
+    """Immutable snapshot of the sealed columns plus memoized derived
+    structures (per-source index, materialized rows).
+
+    One instance exists per log *state*: :meth:`NetworkLog.add`
+    discards it, so every cache here is trivially consistent -- there
+    is no per-cache invalidation protocol to get wrong.
+    """
+
+    __slots__ = ("n", "cols", "kind_vocab", "_source_rows", "_by_source", "_records")
+
+    def __init__(
+        self, buf: Dict[str, np.ndarray], n: int, kind_vocab: Tuple[str, ...]
+    ) -> None:
+        self.n = n
+        cols: Dict[str, np.ndarray] = {}
+        for name, _ in _SCHEMA:
+            view = buf[name][:n]
+            view.flags.writeable = False
+            cols[name] = view
+        self.cols = cols
+        self.kind_vocab = kind_vocab
+        self._source_rows: Optional[Dict[int, np.ndarray]] = None
+        self._by_source: Dict[int, Tuple[NetLogRecord, ...]] = {}
+        self._records: Optional[Tuple[NetLogRecord, ...]] = None
+
+    def source_rows(self) -> Dict[int, np.ndarray]:
+        """Row indices per source id, in delivery (append) order.
+
+        Built once per log state with a single stable argsort; keys
+        ascend, and the stable sort keeps each group in append order.
+        """
+        rows = self._source_rows
+        if rows is None:
+            src = self.cols["src"]
+            if src.size == 0:
+                rows = {}
+            else:
+                order = np.argsort(src, kind="stable")
+                grouped = src[order]
+                starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+                bounds = np.append(starts, grouped.size)
+                rows = {
+                    int(grouped[starts[i]]): order[bounds[i] : bounds[i + 1]]
+                    for i in range(starts.size)
+                }
+            self._source_rows = rows
+        return rows
+
+    def records(self) -> Tuple[NetLogRecord, ...]:
+        """All rows materialized as :class:`NetLogRecord` (cached)."""
+        recs = self._records
+        if recs is None:
+            columns = [self.cols[name].tolist() for name, _ in _SCHEMA]
+            vocab = self.kind_vocab
+            recs = tuple(
+                NetLogRecord(m, s, d, length, vocab[code], it, st, dt, cont, hops)
+                for m, s, d, length, code, it, st, dt, cont, hops in zip(*columns)
+            )
+            self._records = recs
+        return recs
+
+    def record_at(self, row: int) -> NetLogRecord:
+        """Materialize a single row (used by sparse accessors)."""
+        if self._records is not None:
+            return self._records[row]
+        c = self.cols
+        return NetLogRecord(
+            msg_id=int(c["msg_id"][row]),
+            src=int(c["src"][row]),
+            dst=int(c["dst"][row]),
+            length_bytes=int(c["length_bytes"][row]),
+            kind=self.kind_vocab[int(c["kind"][row])],
+            inject_time=float(c["inject_time"][row]),
+            start_time=float(c["start_time"][row]),
+            deliver_time=float(c["deliver_time"][row]),
+            contention=float(c["contention"][row]),
+            hops=int(c["hops"][row]),
+        )
+
+    def by_source(self, src: int) -> Tuple[NetLogRecord, ...]:
+        """``src``'s records in injection order; sorted once, cached."""
+        cached = self._by_source.get(src)
+        if cached is None:
+            rows = self.source_rows().get(src)
+            if rows is None:
+                cached = ()
+            else:
+                ordered = rows[np.argsort(self.cols["inject_time"][rows], kind="stable")]
+                cached = tuple(self.record_at(int(i)) for i in ordered)
+            self._by_source[src] = cached
+        return cached
+
+
 class NetworkLog:
-    """Accumulates :class:`NetLogRecord` entries and derives analysis views."""
+    """Accumulates delivered-message records in columnar buffers and
+    derives vectorized analysis views (see the module docstring for
+    the append/seal/view lifecycle)."""
+
+    #: Smallest sealed-buffer allocation (buffers double beyond it).
+    _MIN_CAPACITY = 512
+
+    #: Bumped when the npz layout changes incompatibly.
+    NPZ_SCHEMA_VERSION = 1
 
     def __init__(self) -> None:
-        self._records: List[NetLogRecord] = []
-        # Lazily built per-source index; None means stale.  Derived
-        # views (by_source, destination/volume histograms) would
-        # otherwise re-scan every record on every call, which turns the
-        # per-source analysis stages into O(sources * records).
-        self._by_source_index: Optional[Dict[int, List[NetLogRecord]]] = None
+        self._pending: List[tuple] = []
+        self._n = 0
+        self._capacity = 0
+        self._buf: Dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in _SCHEMA
+        }
+        self._kind_vocab: List[str] = []
+        self._kind_codes: Dict[str, int] = {}
+        # Snapshot of every derived structure; None means stale (any
+        # mutation resets it, so caches never need point invalidation).
+        self._views: Optional[_LogViews] = None
 
     # ------------------------------------------------------------------
     # collection
     # ------------------------------------------------------------------
     def add(self, record: NetLogRecord) -> None:
         """Append one delivered-message record."""
-        self._records.append(record)
-        self._by_source_index = None
+        self.append(
+            record.msg_id,
+            record.src,
+            record.dst,
+            record.length_bytes,
+            record.kind,
+            record.inject_time,
+            record.start_time,
+            record.deliver_time,
+            record.contention,
+            record.hops,
+        )
+
+    def append(
+        self,
+        msg_id: int,
+        src: int,
+        dst: int,
+        length_bytes: int,
+        kind: str,
+        inject_time: float,
+        start_time: float,
+        deliver_time: float,
+        contention: float,
+        hops: int,
+    ) -> None:
+        """Append one record from its fields (no :class:`NetLogRecord`
+        construction needed -- the collection fast path)."""
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kind_vocab)
+            self._kind_codes[kind] = code
+            self._kind_vocab.append(kind)
+        self._pending.append(
+            (
+                int(msg_id),
+                int(src),
+                int(dst),
+                int(length_bytes),
+                code,
+                float(inject_time),
+                float(start_time),
+                float(deliver_time),
+                float(contention),
+                int(hops),
+            )
+        )
+        self._views = None
 
     def extend(self, records: Iterable[NetLogRecord]) -> None:
         """Append many records."""
-        self._records.extend(records)
-        self._by_source_index = None
+        for record in records:
+            self.add(record)
 
-    def _source_index(self) -> Dict[int, List[NetLogRecord]]:
-        """Records grouped by source (delivery order), built on demand
-        and cached until the next :meth:`add`/:meth:`extend`."""
-        index = self._by_source_index
-        if index is None:
-            index = {}
-            for r in self._records:
-                index.setdefault(r.src, []).append(r)
-            self._by_source_index = index
-        return index
+    def seal(self) -> None:
+        """Flush staged rows into the sealed column buffers.
+
+        Every derived view calls this implicitly; run harnesses call it
+        once after collection so the first analysis query is pure
+        numpy.  Amortized O(1) per record: buffers grow by doubling and
+        each pending row is bulk-copied exactly once.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        need = self._n + len(pending)
+        if need > self._capacity:
+            new_capacity = max(need, 2 * self._capacity, self._MIN_CAPACITY)
+            for name, dtype in _SCHEMA:
+                grown = np.empty(new_capacity, dtype=dtype)
+                grown[: self._n] = self._buf[name][: self._n]
+                self._buf[name] = grown
+            self._capacity = new_capacity
+        columns = tuple(zip(*pending))
+        for (name, _), values in zip(_SCHEMA, columns):
+            self._buf[name][self._n : need] = values
+        self._n = need
+        pending.clear()
+
+    def _view(self) -> _LogViews:
+        views = self._views
+        if views is None:
+            self.seal()
+            views = self._views = _LogViews(self._buf, self._n, tuple(self._kind_vocab))
+        return views
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._n + len(self._pending)
 
     def __iter__(self) -> Iterator[NetLogRecord]:
-        return iter(self._records)
+        return iter(self._view().records())
 
     @property
-    def records(self) -> Sequence[NetLogRecord]:
-        """All records in delivery order."""
-        return tuple(self._records)
+    def records(self) -> Tuple[NetLogRecord, ...]:
+        """All records in delivery order (materialized lazily)."""
+        return self._view().records()
 
     # ------------------------------------------------------------------
     # derived views for the statistics package
     # ------------------------------------------------------------------
     def sources(self) -> List[int]:
         """Sorted distinct source node ids present in the log."""
-        return sorted(self._source_index())
+        return sorted(self._view().source_rows())
 
-    def by_source(self, src: int) -> List[NetLogRecord]:
-        """Records generated by node ``src``, in injection order."""
-        return sorted(self._source_index().get(src, ()), key=lambda r: r.inject_time)
+    def by_source(self, src: int) -> Tuple[NetLogRecord, ...]:
+        """Records generated by node ``src``, in injection order.
+
+        Sorted once when first requested and returned as a cached
+        tuple; the cache lives until the log next mutates.
+        """
+        return self._view().by_source(src)
+
+    def _source_column(self, name: str, src: Optional[int]) -> np.ndarray:
+        """Column ``name``, restricted to ``src``'s rows when given
+        (delivery order either way)."""
+        view = self._view()
+        column = view.cols[name]
+        if src is None:
+            return column
+        rows = view.source_rows().get(src)
+        if rows is None:
+            return np.empty(0, dtype=column.dtype)
+        return column[rows]
 
     def injection_times(self, src: Optional[int] = None) -> np.ndarray:
         """Sorted injection timestamps, optionally for one source."""
-        records = self._records if src is None else self._source_index().get(src, ())
-        return np.sort(np.asarray([r.inject_time for r in records], dtype=float))
+        return np.sort(self._source_column("inject_time", src))
 
     def interarrival_times(self, src: Optional[int] = None) -> np.ndarray:
         """Message inter-arrival times (diffs of sorted injection times).
@@ -151,12 +415,53 @@ class NetworkLog:
             return np.empty(0, dtype=float)
         return np.diff(times)
 
+    def interarrivals_by_source(self) -> Dict[int, np.ndarray]:
+        """Inter-arrival series for every source, keyed ascending.
+
+        One pass over the per-source index instead of a full-column
+        scan per source; used by the per-source temporal analysis.
+        """
+        view = self._view()
+        inject = view.cols["inject_time"]
+        out: Dict[int, np.ndarray] = {}
+        for src, rows in view.source_rows().items():
+            if rows.size < 2:
+                out[src] = np.empty(0, dtype=float)
+            else:
+                out[src] = np.diff(np.sort(inject[rows]))
+        return out
+
+    def _check_endpoints(
+        self, values: np.ndarray, rows: np.ndarray, num_nodes: int, role: str
+    ) -> None:
+        """Raise a :class:`ValueError` naming the first record whose
+        ``role`` endpoint falls outside ``[0, num_nodes)``."""
+        bad = (values < 0) | (values >= num_nodes)
+        if not bad.any():
+            return
+        i = int(np.flatnonzero(bad)[0])
+        record = self._view().record_at(int(rows[i]))
+        raise ValueError(
+            f"record msg_id={record.msg_id} (src={record.src}, dst={record.dst}) "
+            f"has {role}={int(values[i])} outside the {num_nodes}-node network"
+        )
+
     def destination_counts(self, src: int, num_nodes: int) -> np.ndarray:
-        """Messages sent by ``src`` to each node (length ``num_nodes``)."""
-        counts = np.zeros(num_nodes, dtype=float)
-        for r in self._source_index().get(src, ()):
-            counts[r.dst] += 1
-        return counts
+        """Messages sent by ``src`` to each node (length ``num_nodes``).
+
+        Raises :class:`ValueError` (naming the offending record) if any
+        of ``src``'s messages has a destination outside
+        ``[0, num_nodes)`` -- previously a negative ``dst`` silently
+        wrapped via numpy indexing and a too-large one raised a bare
+        ``IndexError``.
+        """
+        view = self._view()
+        rows = view.source_rows().get(src)
+        if rows is None:
+            return np.zeros(num_nodes, dtype=float)
+        dst = view.cols["dst"][rows]
+        self._check_endpoints(dst, rows, num_nodes, role="dst")
+        return np.bincount(dst, minlength=num_nodes).astype(float)
 
     def destination_fractions(self, src: int, num_nodes: int) -> np.ndarray:
         """Fraction of ``src``'s messages sent to each node.
@@ -169,11 +474,18 @@ class NetworkLog:
         return counts / total if total > 0 else counts
 
     def volume_by_destination(self, src: int, num_nodes: int) -> np.ndarray:
-        """Bytes sent by ``src`` to each node (the *volume* distribution)."""
-        volume = np.zeros(num_nodes, dtype=float)
-        for r in self._source_index().get(src, ()):
-            volume[r.dst] += r.length_bytes
-        return volume
+        """Bytes sent by ``src`` to each node (the *volume* distribution).
+
+        Validates destinations like :meth:`destination_counts`.
+        """
+        view = self._view()
+        rows = view.source_rows().get(src)
+        if rows is None:
+            return np.zeros(num_nodes, dtype=float)
+        dst = view.cols["dst"][rows]
+        self._check_endpoints(dst, rows, num_nodes, role="dst")
+        lengths = view.cols["length_bytes"][rows].astype(float)
+        return np.bincount(dst, weights=lengths, minlength=num_nodes)
 
     def volume_fractions(self, src: int, num_nodes: int) -> np.ndarray:
         """Fraction of ``src``'s byte volume sent to each node."""
@@ -181,51 +493,131 @@ class NetworkLog:
         total = volume.sum()
         return volume / total if total > 0 else volume
 
+    def _endpoint_matrix(
+        self, num_nodes: int, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """``num_nodes x num_nodes`` (src, dst) accumulation in one
+        bincount over the flattened pair index."""
+        view = self._view()
+        src = view.cols["src"]
+        dst = view.cols["dst"]
+        all_rows = np.arange(view.n)
+        self._check_endpoints(src, all_rows, num_nodes, role="src")
+        self._check_endpoints(dst, all_rows, num_nodes, role="dst")
+        flat = np.bincount(
+            src * num_nodes + dst, weights=weights, minlength=num_nodes * num_nodes
+        )
+        return flat.reshape(num_nodes, num_nodes).astype(float)
+
+    def destination_count_matrix(self, num_nodes: int) -> np.ndarray:
+        """Message-count matrix, row per source, column per destination.
+
+        Equals stacking :meth:`destination_counts` for every source
+        (absent sources contribute zero rows), computed in one pass.
+        """
+        return self._endpoint_matrix(num_nodes, weights=None)
+
+    def destination_fraction_matrix(self, num_nodes: int) -> np.ndarray:
+        """Row-normalized :meth:`destination_count_matrix` (rows with no
+        messages stay zero) -- the spatial attribute's input matrix."""
+        counts = self.destination_count_matrix(num_nodes)
+        totals = counts.sum(axis=1, keepdims=True)
+        return np.divide(
+            counts, totals, out=np.zeros_like(counts), where=totals > 0
+        )
+
+    def volume_matrix(self, num_nodes: int) -> np.ndarray:
+        """Byte-volume matrix, row per source, column per destination."""
+        lengths = self._view().cols["length_bytes"].astype(float)
+        return self._endpoint_matrix(num_nodes, weights=lengths)
+
+    def volume_fraction_matrix(self, num_nodes: int) -> np.ndarray:
+        """Row-normalized :meth:`volume_matrix` -- the volume
+        attribute's input matrix."""
+        volume = self.volume_matrix(num_nodes)
+        totals = volume.sum(axis=1, keepdims=True)
+        return np.divide(
+            volume, totals, out=np.zeros_like(volume), where=totals > 0
+        )
+
     def message_lengths(self, src: Optional[int] = None) -> np.ndarray:
         """Message payload lengths, optionally for one source."""
-        records = self._records if src is None else self._source_index().get(src, ())
-        return np.asarray([r.length_bytes for r in records], dtype=float)
+        return self._source_column("length_bytes", src).astype(float)
+
+    def length_counts(self) -> Dict[int, int]:
+        """Message count per distinct payload length, ascending sizes."""
+        lengths = self._view().cols["length_bytes"]
+        values, counts = np.unique(lengths, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
 
     def kinds(self) -> Dict[str, int]:
-        """Message count per kind tag."""
-        out: Dict[str, int] = {}
-        for r in self._records:
-            out[r.kind] = out.get(r.kind, 0) + 1
-        return out
+        """Message count per kind tag (first-appearance order)."""
+        view = self._view()
+        if not view.kind_vocab:
+            return {}
+        codes = view.cols["kind"]
+        counts = np.bincount(codes, minlength=len(view.kind_vocab))
+        return {kind: int(counts[i]) for i, kind in enumerate(view.kind_vocab)}
 
     # ------------------------------------------------------------------
     # summary metrics
     # ------------------------------------------------------------------
+    def summary(self) -> LogSummary:
+        """Every scalar summary metric, computed in one column pass."""
+        view = self._view()
+        n = view.n
+        if n == 0:
+            return LogSummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        inject = view.cols["inject_time"]
+        deliver = view.cols["deliver_time"]
+        first_inject = float(np.min(inject))
+        span = float(np.max(deliver)) - first_inject
+        injection_span = float(np.max(inject)) - first_inject
+        return LogSummary(
+            messages=n,
+            total_bytes=int(view.cols["length_bytes"].sum()),
+            span=span,
+            injection_span=injection_span,
+            mean_latency=float(np.mean(deliver - inject)),
+            mean_contention=float(np.mean(view.cols["contention"])),
+            offered_rate=n / injection_span if injection_span > 0 else 0.0,
+            throughput=n / span if span > 0 else 0.0,
+        )
+
     def mean_latency(self) -> float:
         """Mean end-to-end message latency."""
-        if not self._records:
+        view = self._view()
+        if view.n == 0:
             return 0.0
-        return float(np.mean([r.latency for r in self._records]))
+        return float(np.mean(view.cols["deliver_time"] - view.cols["inject_time"]))
 
     def mean_contention(self) -> float:
         """Mean per-message channel-wait time."""
-        if not self._records:
+        view = self._view()
+        if view.n == 0:
             return 0.0
-        return float(np.mean([r.contention for r in self._records]))
+        return float(np.mean(view.cols["contention"]))
 
     def total_bytes(self) -> int:
         """Total payload bytes delivered."""
-        return int(sum(r.length_bytes for r in self._records))
+        return int(self._view().cols["length_bytes"].sum())
 
     def span(self) -> float:
         """Time from first injection to last delivery."""
-        if not self._records:
+        view = self._view()
+        if view.n == 0:
             return 0.0
-        start = min(r.inject_time for r in self._records)
-        end = max(r.deliver_time for r in self._records)
-        return end - start
+        return float(np.max(view.cols["deliver_time"])) - float(
+            np.min(view.cols["inject_time"])
+        )
 
     def injection_span(self) -> float:
         """Time from first to last injection (the offered-load window)."""
-        if not self._records:
+        view = self._view()
+        if view.n == 0:
             return 0.0
-        times = [r.inject_time for r in self._records]
-        return max(times) - min(times)
+        inject = view.cols["inject_time"]
+        return float(np.max(inject)) - float(np.min(inject))
 
     def offered_rate(self) -> float:
         """Messages injected per unit time over the injection window.
@@ -238,7 +630,7 @@ class NetworkLog:
         duration = self.injection_span()
         if duration <= 0:
             return 0.0
-        return len(self._records) / duration
+        return len(self) / duration
 
     def throughput(self) -> float:
         """Messages delivered per unit time, first injection to last
@@ -246,7 +638,7 @@ class NetworkLog:
         duration = self.span()
         if duration <= 0:
             return 0.0
-        return len(self._records) / duration
+        return len(self) / duration
 
     # ------------------------------------------------------------------
     # persistence
@@ -257,33 +649,154 @@ class NetworkLog:
         Paths ending in ``.gz`` are written gzip-compressed, so large
         activity logs from instrumented runs stay manageable.
         """
-        names = [f.name for f in fields(NetLogRecord)]
+        view = self._view()
+        vocab = view.kind_vocab
+        columns = [view.cols[name].tolist() for name, _ in _SCHEMA]
         with _open_csv(path, "w") as handle:
             writer = csv.writer(handle)
-            writer.writerow(names)
-            for r in self._records:
-                writer.writerow([getattr(r, n) for n in names])
+            writer.writerow(_CSV_FIELDS)
+            for row in zip(*columns):
+                out = list(row)
+                out[_KIND_POS] = vocab[out[_KIND_POS]]
+                writer.writerow(out)
 
     @classmethod
     def read_csv(cls, path: str) -> "NetworkLog":
         """Read a log previously written by :meth:`write_csv`
-        (transparently gunzips ``.gz`` paths)."""
+        (transparently gunzips ``.gz`` paths).
+
+        Raises :class:`NetLogFormatError` -- naming the path and the
+        offending 1-based row -- on a missing/mismatched header,
+        truncated rows, or unparsable field values.
+        """
         log = cls()
         with _open_csv(path, "r") as handle:
-            reader = csv.DictReader(handle)
-            for row in reader:
-                log.add(
-                    NetLogRecord(
-                        msg_id=int(row["msg_id"]),
-                        src=int(row["src"]),
-                        dst=int(row["dst"]),
-                        length_bytes=int(row["length_bytes"]),
-                        kind=row["kind"],
-                        inject_time=float(row["inject_time"]),
-                        start_time=float(row["start_time"]),
-                        deliver_time=float(row["deliver_time"]),
-                        contention=float(row["contention"]),
-                        hops=int(row["hops"]),
-                    )
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise NetLogFormatError(
+                    f"{path}: empty file (expected a netlog CSV header)"
+                ) from None
+            expected = set(_CSV_FIELDS)
+            got = set(header)
+            if got != expected or len(header) != len(_CSV_FIELDS):
+                problems = []
+                missing = sorted(expected - got)
+                extra = sorted(got - expected)
+                if missing:
+                    problems.append(f"missing column(s) {missing}")
+                if extra:
+                    problems.append(f"unexpected column(s) {extra}")
+                if not problems:
+                    problems.append("duplicated column names")
+                raise NetLogFormatError(
+                    f"{path}: not a netlog CSV: " + "; ".join(problems)
                 )
+            index = {name: header.index(name) for name in _CSV_FIELDS}
+            width = len(header)
+            for lineno, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != width:
+                    raise NetLogFormatError(
+                        f"{path}: row {lineno}: expected {width} fields, got "
+                        f"{len(row)} (truncated or corrupt log)"
+                    )
+                try:
+                    log.append(
+                        msg_id=int(row[index["msg_id"]]),
+                        src=int(row[index["src"]]),
+                        dst=int(row[index["dst"]]),
+                        length_bytes=int(row[index["length_bytes"]]),
+                        kind=row[index["kind"]],
+                        inject_time=float(row[index["inject_time"]]),
+                        start_time=float(row[index["start_time"]]),
+                        deliver_time=float(row[index["deliver_time"]]),
+                        contention=float(row[index["contention"]]),
+                        hops=int(row[index["hops"]]),
+                    )
+                except ValueError as error:
+                    raise NetLogFormatError(
+                        f"{path}: row {lineno}: {error}"
+                    ) from error
+        return log
+
+    def write_npz(self, path: str) -> None:
+        """Write the sealed columns as a compressed ``.npz``.
+
+        Binary, exact (floats round-trip bit-identically without a
+        decimal detour), and loaded back column-at-a-time by
+        :meth:`read_npz` -- the persistence fast path for sweep-scale
+        logs.  Note :func:`numpy.savez_compressed` appends ``.npz`` to
+        string paths lacking the suffix.
+        """
+        view = self._view()
+        vocab = view.kind_vocab
+        arrays = {name: view.cols[name] for name, _ in _SCHEMA}
+        np.savez_compressed(
+            path,
+            schema=np.array([self.NPZ_SCHEMA_VERSION], dtype=np.int64),
+            kind_vocab=(
+                np.asarray(vocab, dtype=np.str_)
+                if vocab
+                else np.empty(0, dtype="U1")
+            ),
+            **arrays,
+        )
+
+    @classmethod
+    def read_npz(cls, path: str) -> "NetworkLog":
+        """Read a log previously written by :meth:`write_npz`.
+
+        Raises :class:`NetLogFormatError` on missing arrays, mismatched
+        column lengths, an unknown schema version, or kind codes
+        pointing outside the stored vocabulary.
+        """
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as error:
+            raise NetLogFormatError(f"{path}: not a netlog npz: {error}") from error
+        with data:
+            present = set(data.files)
+            required = {name for name, _ in _SCHEMA} | {"schema", "kind_vocab"}
+            missing = sorted(required - present)
+            if missing:
+                raise NetLogFormatError(
+                    f"{path}: not a netlog npz: missing array(s) {missing}"
+                )
+            version = int(np.asarray(data["schema"]).ravel()[0])
+            if version != cls.NPZ_SCHEMA_VERSION:
+                raise NetLogFormatError(
+                    f"{path}: npz schema version {version} is not supported "
+                    f"(this build reads version {cls.NPZ_SCHEMA_VERSION})"
+                )
+            vocab = [str(kind) for kind in data["kind_vocab"]]
+            columns: Dict[str, np.ndarray] = {}
+            n: Optional[int] = None
+            for name, dtype in _SCHEMA:
+                array = np.asarray(data[name])
+                if array.ndim != 1:
+                    raise NetLogFormatError(
+                        f"{path}: column {name!r} is not 1-D"
+                    )
+                if n is None:
+                    n = array.size
+                elif array.size != n:
+                    raise NetLogFormatError(
+                        f"{path}: column {name!r} has {array.size} rows, "
+                        f"expected {n}"
+                    )
+                columns[name] = array.astype(dtype)
+            codes = columns["kind"]
+            if codes.size and ((codes < 0) | (codes >= len(vocab))).any():
+                raise NetLogFormatError(
+                    f"{path}: kind codes point outside the stored vocabulary "
+                    f"({len(vocab)} entries)"
+                )
+        log = cls()
+        log._buf = columns
+        log._n = log._capacity = 0 if n is None else int(n)
+        log._kind_vocab = vocab
+        log._kind_codes = {kind: i for i, kind in enumerate(vocab)}
         return log

@@ -83,17 +83,17 @@ def report_from_run(
     """Build a :class:`RunReport` from a
     :class:`~repro.core.methodology.CharacterizationRun`."""
     characterization = run.characterization
-    log = run.log
+    stats = run.log.summary()
     return RunReport(
         app=characterization.app_name,
         strategy=characterization.strategy,
         mesh=f"{characterization.num_nodes} nodes",
         params=dict(app_params or {}),
-        messages=len(log),
-        total_bytes=log.total_bytes(),
-        sim_span=log.span(),
-        mean_latency=log.mean_latency(),
-        mean_contention=log.mean_contention(),
+        messages=stats.messages,
+        total_bytes=stats.total_bytes,
+        sim_span=stats.span,
+        mean_latency=stats.mean_latency,
+        mean_contention=stats.mean_contention,
         wall_seconds=wall_seconds,
         metrics=metrics,
     )
@@ -118,16 +118,17 @@ def report_from_log(
     :func:`report_from_run`, so sweeps and characterizations land in
     one comparable trajectory.
     """
+    stats = log.summary()
     return RunReport(
         app=app,
         strategy=strategy,
         mesh=mesh,
         params=dict(params or {}),
-        messages=len(log),
-        total_bytes=log.total_bytes(),
-        sim_span=log.span(),
-        mean_latency=log.mean_latency(),
-        mean_contention=log.mean_contention(),
+        messages=stats.messages,
+        total_bytes=stats.total_bytes,
+        sim_span=stats.span,
+        mean_latency=stats.mean_latency,
+        mean_contention=stats.mean_contention,
         wall_seconds=wall_seconds,
         metrics=metrics,
         extra=dict(extra or {}),
@@ -164,18 +165,19 @@ def netlog_health(log) -> Tuple[List[str], int]:
     """
     lines: List[str] = []
     problems = 0
-    n = len(log)
+    stats = log.summary()
+    n = stats.messages
     if n == 0:
         return ["empty activity log: no messages were delivered"], 1
-    span = log.span()
-    inj_span = log.injection_span()
+    span = stats.span
+    inj_span = stats.injection_span
     lines.append(f"{n} messages over span {span:g} (injection window {inj_span:g})")
     lines.append(
-        f"offered rate {log.offered_rate():g}/t, throughput {log.throughput():g}/t"
+        f"offered rate {stats.offered_rate:g}/t, throughput {stats.throughput:g}/t"
     )
     lines.append(
-        f"mean latency {log.mean_latency():g}, "
-        f"mean contention {log.mean_contention():g}"
+        f"mean latency {stats.mean_latency:g}, "
+        f"mean contention {stats.mean_contention:g}"
     )
     if inj_span > 0 and span > 2.0 * inj_span:
         problems += 1

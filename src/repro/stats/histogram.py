@@ -10,7 +10,7 @@ informative.  Both are provided; equal-width is the default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -22,27 +22,43 @@ class Histogram:
     Attributes
     ----------
     edges:
-        Bin edges, length ``n_bins + 1``.
+        Bin edges, length ``n_bins + 1`` for a contiguous histogram.
+        A masked histogram (see :meth:`nonempty`) keeps its parent's
+        full edge array here, since a non-contiguous bin selection has
+        no single edge vector; per-bin geometry is authoritative in
+        ``lefts``/``rights``.
     counts:
         Observations per bin.
     density:
         Empirical probability density per bin
         (``counts / (total * bin_width)``).
+    lefts, rights:
+        Per-bin left/right edges.  Default to consecutive slices of
+        ``edges``; explicitly carried by masked histograms so
+        ``centers``/``widths`` stay correct for any bin subset.
     """
 
     edges: np.ndarray
     counts: np.ndarray
     density: np.ndarray
+    lefts: Optional[np.ndarray] = None
+    rights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.lefts is None:
+            object.__setattr__(self, "lefts", self.edges[:-1])
+        if self.rights is None:
+            object.__setattr__(self, "rights", self.edges[1:])
 
     @property
     def centers(self) -> np.ndarray:
         """Bin midpoints (the regression's independent variable)."""
-        return 0.5 * (self.edges[:-1] + self.edges[1:])
+        return 0.5 * (self.lefts + self.rights)
 
     @property
     def widths(self) -> np.ndarray:
         """Bin widths."""
-        return np.diff(self.edges)
+        return self.rights - self.lefts
 
     @property
     def n_bins(self) -> int:
@@ -57,18 +73,23 @@ class Histogram:
     def nonempty(self) -> "Histogram":
         """Histogram restricted to bins with at least one observation.
 
-        Note the result's ``edges`` are per-bin ``(left, right)`` pairs
-        flattened back into an edge array only when bins are contiguous;
-        use ``centers``/``widths``/``density`` for regression instead.
+        Correct for any mask, including interior empty bins: the result
+        carries explicit per-bin ``lefts``/``rights``, so ``centers``
+        and ``widths`` are those of the surviving bins (previously a
+        non-contiguous mask produced a collapsed ``edges`` array whose
+        derived centers/widths were wrong).  ``edges`` keeps the
+        parent's full edge array.
         """
         mask = self.counts > 0
         if mask.all():
             return self
-        # Keep original edges; zero bins removed from derived arrays via mask.
-        left = self.edges[:-1][mask]
-        right = self.edges[1:][mask]
-        edges = np.concatenate([left, right[-1:]]) if mask.any() else self.edges[:1]
-        return Histogram(edges=edges, counts=self.counts[mask], density=self.density[mask])
+        return Histogram(
+            edges=self.edges,
+            counts=self.counts[mask],
+            density=self.density[mask],
+            lefts=self.lefts[mask],
+            rights=self.rights[mask],
+        )
 
 
 def _freedman_diaconis_bins(data: np.ndarray) -> int:

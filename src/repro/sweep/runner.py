@@ -131,6 +131,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
         seed=cell_seed,
     )
     point = measurement.point
+    stats = measurement.log.summary()
     report = report_from_log(
         measurement.log,
         app=spec.app,
@@ -146,6 +147,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
             "cell_seed": cell_seed,
             "requested_rate": point.requested_rate,
             "achieved_rate": point.achieved_rate,
+            "offered_rate": stats.offered_rate,
             "efficiency": point.efficiency,
         },
     )

@@ -118,4 +118,7 @@ def replay_trace(
     simulator.run(check_stall=True)
     network.finalize_metrics()
     check_leaks(simulator)
+    # Flush staged records into the columnar buffers before handing the
+    # log to analysis, so the first derived view is pure numpy.
+    network.log.seal()
     return network.log

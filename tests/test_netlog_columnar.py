@@ -1,0 +1,334 @@
+"""Columnar NetworkLog equivalence, persistence, and validation tests.
+
+The columnar log must be *bit-identical* to the legacy row-backed
+implementation (kept as the oracle in :mod:`repro.mesh.netlog_rows`)
+on every derived view -- the hypothesis property below drives both
+with randomized logs, and explicit cases cover empty, single-record,
+and single-source logs.  Persistence tests assert CSV <-> npz round
+trips reproduce the exact records and views; validation tests cover
+the endpoint checks and the CSV/npz format diagnostics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.netlog import (
+    LogSummary,
+    NetLogFormatError,
+    NetLogRecord,
+    NetworkLog,
+)
+from repro.mesh.netlog_rows import RowNetworkLog
+
+NUM_NODES = 8
+KINDS = ("p2p", "coherence", "reply")
+
+
+def make_record(msg_id, src, dst, nbytes=8, kind="p2p", inject=0.0, latency=5.0,
+                contention=0.5, hops=2):
+    return NetLogRecord(
+        msg_id=msg_id,
+        src=src,
+        dst=dst,
+        length_bytes=nbytes,
+        kind=kind,
+        inject_time=inject,
+        start_time=inject + 1.0,
+        deliver_time=inject + latency,
+        contention=contention,
+        hops=hops,
+    )
+
+
+record_tuples = st.tuples(
+    st.integers(0, NUM_NODES - 1),                      # src
+    st.integers(0, NUM_NODES - 1),                      # dst
+    st.sampled_from((8, 16, 64, 256)),                  # length
+    st.sampled_from(KINDS),                             # kind
+    st.floats(0.0, 1e6, allow_nan=False),               # inject
+    st.floats(0.0, 1e4, allow_nan=False),               # latency
+    st.floats(0.0, 1e3, allow_nan=False),               # contention
+)
+
+
+def build_logs(rows):
+    """The same records into a columnar log and the row oracle."""
+    columnar, reference = NetworkLog(), RowNetworkLog()
+    for i, (src, dst, nbytes, kind, inject, latency, contention) in enumerate(rows):
+        record = make_record(
+            i, src, dst, nbytes=nbytes, kind=kind, inject=inject,
+            latency=latency, contention=contention,
+        )
+        columnar.add(record)
+        reference.add(record)
+    return columnar, reference
+
+
+def assert_views_identical(columnar, reference):
+    """Every derived view of both logs must be bit-identical."""
+    assert len(columnar) == len(reference)
+    assert columnar.records == tuple(reference.records)
+    assert list(columnar) == list(reference)
+    assert columnar.sources() == reference.sources()
+    assert columnar.kinds() == reference.kinds()
+    assert columnar.length_counts() == reference.length_counts()
+    assert columnar.total_bytes() == reference.total_bytes()
+    assert columnar.span() == reference.span()
+    assert columnar.injection_span() == reference.injection_span()
+    assert columnar.mean_latency() == reference.mean_latency()
+    assert columnar.mean_contention() == reference.mean_contention()
+    assert columnar.offered_rate() == reference.offered_rate()
+    assert columnar.throughput() == reference.throughput()
+
+    def identical(a, b):
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert np.array_equal(a, b)
+
+    identical(columnar.injection_times(), reference.injection_times())
+    identical(columnar.interarrival_times(), reference.interarrival_times())
+    identical(columnar.message_lengths(), reference.message_lengths())
+    identical(
+        columnar.destination_count_matrix(NUM_NODES),
+        reference.destination_count_matrix(NUM_NODES),
+    )
+    identical(
+        columnar.destination_fraction_matrix(NUM_NODES),
+        reference.destination_fraction_matrix(NUM_NODES),
+    )
+    identical(columnar.volume_matrix(NUM_NODES), reference.volume_matrix(NUM_NODES))
+    identical(
+        columnar.volume_fraction_matrix(NUM_NODES),
+        reference.volume_fraction_matrix(NUM_NODES),
+    )
+    for src in list(reference.sources()) + [NUM_NODES + 3]:
+        assert columnar.by_source(src) == tuple(reference.by_source(src))
+        identical(columnar.injection_times(src), reference.injection_times(src))
+        identical(columnar.interarrival_times(src), reference.interarrival_times(src))
+        identical(columnar.message_lengths(src), reference.message_lengths(src))
+        identical(
+            columnar.destination_counts(src, NUM_NODES),
+            reference.destination_counts(src, NUM_NODES),
+        )
+        identical(
+            columnar.destination_fractions(src, NUM_NODES),
+            reference.destination_fractions(src, NUM_NODES),
+        )
+        identical(
+            columnar.volume_by_destination(src, NUM_NODES),
+            reference.volume_by_destination(src, NUM_NODES),
+        )
+        identical(
+            columnar.volume_fractions(src, NUM_NODES),
+            reference.volume_fractions(src, NUM_NODES),
+        )
+    by_src = columnar.interarrivals_by_source()
+    assert list(by_src) == reference.sources()
+    for src, series in by_src.items():
+        identical(series, reference.interarrival_times(src))
+
+
+class TestRowEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(record_tuples, min_size=0, max_size=60))
+    def test_every_view_matches_row_oracle(self, rows):
+        columnar, reference = build_logs(rows)
+        assert_views_identical(columnar, reference)
+
+    def test_empty_log(self):
+        columnar, reference = build_logs([])
+        assert_views_identical(columnar, reference)
+        assert columnar.summary() == LogSummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_single_record_log(self):
+        columnar, reference = build_logs([(2, 5, 64, "p2p", 3.0, 4.0, 0.25)])
+        assert_views_identical(columnar, reference)
+
+    def test_single_source_log(self):
+        rows = [(4, dst, 16, "reply", float(t), 2.0, 0.0)
+                for t, dst in enumerate([0, 3, 3, 7, 1])]
+        columnar, reference = build_logs(rows)
+        assert_views_identical(columnar, reference)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.lists(record_tuples, min_size=1, max_size=40))
+    def test_summary_matches_individual_metrics(self, rows):
+        columnar, _ = build_logs(rows)
+        stats = columnar.summary()
+        assert stats.messages == len(columnar)
+        assert stats.total_bytes == columnar.total_bytes()
+        assert stats.span == columnar.span()
+        assert stats.injection_span == columnar.injection_span()
+        assert stats.mean_latency == columnar.mean_latency()
+        assert stats.mean_contention == columnar.mean_contention()
+        assert stats.offered_rate == columnar.offered_rate()
+        assert stats.throughput == columnar.throughput()
+
+    def test_interleaved_mutation_and_views(self):
+        # Views rebuilt after every append must match a log built in
+        # one shot (exercises the seal/invalidate cycle).
+        rows = [(i % 3, (i + 1) % NUM_NODES, 16, "p2p", float(i), 1.0, 0.0)
+                for i in range(10)]
+        incremental = NetworkLog()
+        for i, (src, dst, nbytes, kind, inject, latency, contention) in enumerate(rows):
+            incremental.add(make_record(i, src, dst, nbytes=nbytes, kind=kind,
+                                        inject=inject, latency=latency,
+                                        contention=contention))
+            incremental.interarrival_times()  # force a view mid-collection
+        oneshot, _ = build_logs(rows)
+        assert incremental.records == oneshot.records
+        assert np.array_equal(
+            incremental.destination_count_matrix(NUM_NODES),
+            oneshot.destination_count_matrix(NUM_NODES),
+        )
+
+
+class TestEndpointValidation:
+    def test_negative_destination_rejected(self):
+        log = NetworkLog()
+        log.add(make_record(3, src=1, dst=-2))
+        with pytest.raises(ValueError, match=r"msg_id=3.*dst=-2"):
+            log.destination_counts(1, NUM_NODES)
+
+    def test_too_large_destination_rejected_with_clear_error(self):
+        log = NetworkLog()
+        log.add(make_record(0, src=0, dst=1))
+        log.add(make_record(9, src=0, dst=NUM_NODES))
+        with pytest.raises(ValueError, match=rf"msg_id=9.*dst={NUM_NODES}"):
+            log.volume_by_destination(0, NUM_NODES)
+
+    def test_matrix_validates_sources_too(self):
+        log = NetworkLog()
+        log.add(make_record(5, src=NUM_NODES + 1, dst=0))
+        with pytest.raises(ValueError, match=r"msg_id=5.*src"):
+            log.destination_count_matrix(NUM_NODES)
+
+    def test_valid_log_passes(self):
+        log = NetworkLog()
+        log.add(make_record(0, src=0, dst=NUM_NODES - 1))
+        counts = log.destination_counts(0, NUM_NODES)
+        assert counts[NUM_NODES - 1] == 1
+
+
+class TestPersistence:
+    @settings(max_examples=15, deadline=None)
+    @given(rows=st.lists(record_tuples, min_size=0, max_size=30))
+    def test_csv_npz_round_trip_equality(self, rows, tmp_path_factory):
+        columnar, _ = build_logs(rows)
+        tmp_path = tmp_path_factory.mktemp("netlog")
+        csv_path = str(tmp_path / "log.csv")
+        npz_path = str(tmp_path / "log.npz")
+        columnar.write_csv(csv_path)
+        columnar.write_npz(npz_path)
+        from_csv = NetworkLog.read_csv(csv_path)
+        from_npz = NetworkLog.read_npz(npz_path)
+        assert from_csv.records == columnar.records
+        assert from_npz.records == columnar.records
+        assert from_npz.kinds() == columnar.kinds()
+        assert np.array_equal(
+            from_npz.injection_times(), columnar.injection_times()
+        )
+        assert np.array_equal(
+            from_npz.destination_count_matrix(NUM_NODES),
+            from_csv.destination_count_matrix(NUM_NODES),
+        )
+        assert from_npz.summary() == columnar.summary()
+
+    def test_npz_is_binary_and_loadable_by_numpy(self, tmp_path):
+        columnar, _ = build_logs([(0, 1, 64, "p2p", 1.0, 2.0, 0.5)])
+        path = str(tmp_path / "log.npz")
+        columnar.write_npz(path)
+        with np.load(path) as data:
+            assert set(data.files) >= {"msg_id", "src", "dst", "kind_vocab"}
+            assert data["src"].tolist() == [0]
+
+    def test_npz_missing_column_rejected(self, tmp_path):
+        path = str(tmp_path / "broken.npz")
+        np.savez_compressed(path, msg_id=np.array([1]))
+        with pytest.raises(NetLogFormatError, match=r"broken\.npz.*missing"):
+            NetworkLog.read_npz(path)
+
+    def test_npz_length_mismatch_rejected(self, tmp_path):
+        columnar, _ = build_logs([(0, 1, 8, "p2p", 0.0, 1.0, 0.0)] * 3)
+        path = str(tmp_path / "log.npz")
+        columnar.write_npz(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["src"] = arrays["src"][:1]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(NetLogFormatError, match=r"'src' has 1 rows"):
+            NetworkLog.read_npz(path)
+
+    def test_npz_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(NetLogFormatError, match="junk"):
+            NetworkLog.read_npz(str(path))
+
+
+class TestCsvFormatErrors:
+    def write_lines(self, tmp_path, lines, name="log.csv"):
+        path = tmp_path / name
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def header(self):
+        log, _ = build_logs([(0, 1, 8, "p2p", 0.0, 1.0, 0.0)])
+        return "msg_id,src,dst,length_bytes,kind,inject_time,start_time,deliver_time,contention,hops"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(NetLogFormatError, match="empty file"):
+            NetworkLog.read_csv(str(path))
+
+    def test_missing_column_named(self, tmp_path):
+        path = self.write_lines(
+            tmp_path,
+            ["msg_id,src,dst,length_bytes,kind", "0,1,2,8,p2p"],
+        )
+        with pytest.raises(NetLogFormatError, match="missing column"):
+            NetworkLog.read_csv(path)
+
+    def test_extra_column_named(self, tmp_path):
+        path = self.write_lines(tmp_path, [self.header() + ",bogus"])
+        with pytest.raises(NetLogFormatError, match=r"unexpected column\(s\) \['bogus'\]"):
+            NetworkLog.read_csv(path)
+
+    def test_truncated_row_names_row_number(self, tmp_path):
+        path = self.write_lines(
+            tmp_path,
+            [
+                self.header(),
+                "0,1,2,8,p2p,0.0,1.0,5.0,0.5,2",
+                "1,1,2,8",  # truncated mid-row
+            ],
+        )
+        with pytest.raises(NetLogFormatError, match="row 3.*truncated"):
+            NetworkLog.read_csv(path)
+
+    def test_unparsable_value_names_row_number(self, tmp_path):
+        path = self.write_lines(
+            tmp_path,
+            [
+                self.header(),
+                "0,1,2,8,p2p,0.0,1.0,5.0,0.5,2",
+                "nope,1,2,8,p2p,0.0,1.0,5.0,0.5,2",
+            ],
+        )
+        with pytest.raises(NetLogFormatError, match="row 3"):
+            NetworkLog.read_csv(path)
+
+    def test_format_error_is_a_value_error(self, tmp_path):
+        # The CLI catches ValueError; the format error must stay inside
+        # that hierarchy so `repro doctor broken.csv` exits 2, not a
+        # traceback.
+        assert issubclass(NetLogFormatError, ValueError)
+
+    def test_clean_round_trip_still_works(self, tmp_path):
+        columnar, _ = build_logs(
+            [(0, 1, 8, "p2p", 0.25, 1.5, 0.125), (3, 0, 16, "reply", 2.0, 1.0, 0.0)]
+        )
+        path = str(tmp_path / "log.csv")
+        columnar.write_csv(path)
+        assert NetworkLog.read_csv(path).records == columnar.records

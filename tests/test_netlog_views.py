@@ -40,11 +40,21 @@ class TestSourceIndex:
     def test_index_reused_across_views(self):
         log = sample_log()
         log.by_source(0)
-        index = log._by_source_index
-        assert index is not None
+        views = log._views
+        assert views is not None
         log.destination_counts(0, 4)
         log.volume_by_destination(0, 4)
-        assert log._by_source_index is index  # not rebuilt
+        assert log._views is views  # view snapshot not rebuilt
+
+    def test_by_source_tuple_cached_until_mutation(self):
+        log = sample_log()
+        first = log.by_source(0)
+        assert isinstance(first, tuple)
+        assert log.by_source(0) is first  # sorted once, cached
+        log.add(make_record(7, src=0, dst=3, inject=0.5))
+        rebuilt = log.by_source(0)
+        assert rebuilt is not first
+        assert [r.msg_id for r in rebuilt] == [7, 1, 0]
 
     def test_add_invalidates_index(self):
         log = sample_log()
@@ -71,7 +81,7 @@ class TestSourceIndex:
 
     def test_unknown_source_is_empty(self):
         log = sample_log()
-        assert log.by_source(9) == []
+        assert log.by_source(9) == ()
         assert log.destination_counts(9, 4).sum() == 0
 
 

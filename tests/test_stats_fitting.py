@@ -67,6 +67,30 @@ class TestHistogram:
         trimmed = hist.nonempty()
         assert (trimmed.counts > 0).all()
 
+    def test_nonempty_interior_hole_keeps_true_geometry(self):
+        # Regression: with an *interior* empty bin, the trimmed
+        # histogram's centers/widths must describe the surviving bins,
+        # not a recomputed edge sequence that silently shifts them.
+        data = np.concatenate([np.full(5, 0.5), np.full(5, 2.5)])
+        hist = build_histogram(data, bins=3)
+        assert list(hist.counts) == [5, 0, 5]
+        trimmed = hist.nonempty()
+        assert list(trimmed.counts) == [5, 5]
+        np.testing.assert_allclose(trimmed.lefts, hist.lefts[[0, 2]])
+        np.testing.assert_allclose(trimmed.rights, hist.rights[[0, 2]])
+        np.testing.assert_allclose(trimmed.centers, hist.centers[[0, 2]])
+        np.testing.assert_allclose(trimmed.widths, hist.widths[[0, 2]])
+        # Density over surviving bins still integrates to the surviving
+        # mass fraction (here: all of it).
+        assert float(np.sum(trimmed.density * trimmed.widths)) == pytest.approx(1.0)
+
+    def test_nonempty_all_bins_occupied_is_identity_geometry(self):
+        data = RNG.uniform(0, 1, 500)
+        hist = build_histogram(data, bins=5)
+        trimmed = hist.nonempty()
+        np.testing.assert_allclose(trimmed.centers, hist.centers)
+        np.testing.assert_allclose(trimmed.widths, hist.widths)
+
 
 class TestGoodness:
     def test_r_squared_perfect(self):
