@@ -33,11 +33,15 @@ Package map (bottom-up):
 from repro.apps import create_app
 from repro.core import (
     CommunicationCharacterization,
+    RunOptions,
     SyntheticTrafficGenerator,
     characterize_log,
     characterize_message_passing,
     characterize_shared_memory,
     compare_logs,
+    run_dynamic,
+    run_static,
+    run_synthetic,
 )
 from repro.mesh import MeshConfig, MeshNetwork, NetworkLog, NetworkMessage
 
@@ -49,6 +53,7 @@ __all__ = [
     "MeshNetwork",
     "NetworkLog",
     "NetworkMessage",
+    "RunOptions",
     "SyntheticTrafficGenerator",
     "__version__",
     "characterize_log",
@@ -56,4 +61,7 @@ __all__ = [
     "characterize_shared_memory",
     "compare_logs",
     "create_app",
+    "run_dynamic",
+    "run_static",
+    "run_synthetic",
 ]

@@ -64,18 +64,22 @@ class SharedMemoryApplication(ABC):
         coherence_config: Optional[CoherenceConfig] = None,
         obs=None,
         timeline=None,
+        options=None,
     ) -> ExecutionDrivenSimulation:
         """Execute the application end to end on a fresh machine.
 
         ``obs``/``timeline`` are forwarded to
         :class:`ExecutionDrivenSimulation` (observability off when
-        omitted).
+        omitted); ``options`` (a
+        :class:`~repro.core.options.RunOptions`) selects the scheduler
+        and run-safety knobs.
         """
         sim = ExecutionDrivenSimulation(
             mesh_config=mesh_config,
             coherence_config=coherence_config,
             obs=obs,
             timeline=timeline,
+            options=options,
         )
         self.build(sim)
         sim.run(self.thread_body)

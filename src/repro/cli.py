@@ -9,6 +9,7 @@ Usage (via ``python -m repro``):
     $ python -m repro characterize mg --param n=32 --param cycles=2
     $ python -m repro characterize 1d-fft --param n=256 \
           --metrics m.json --timeline t.json --report r.json
+    $ python -m repro characterize 1d-fft --scheduler heap --max-no-progress 100000
     $ python -m repro metrics m.json
     $ python -m repro validate 1d-fft --messages 200
     $ python -m repro sp2-model 1024
@@ -33,6 +34,14 @@ layer and writes every counter/gauge/histogram/time-series to JSON;
 the machine-readable run report the benchmark suite also emits.
 ``metrics`` summarizes a previously written metrics JSON.
 
+``characterize``, ``validate`` and the ``sweep`` grid commands share
+one simulation-kernel flag group: ``--scheduler {calendar,heap}``
+selects the event-list implementation (calendar is the fast path, heap
+the legacy oracle; both produce bit-identical logs) and
+``--max-no-progress N`` arms the no-progress watchdog.  For sweeps the
+flags enter every cell's :class:`~repro.core.options.RunOptions` and
+therefore its cache key.
+
 ``sweep`` runs declarative experiment grids (app x mesh x protocol x
 rate-scale x seed) on a worker pool with per-cell timeouts, bounded
 retries and a content-addressed result cache — see
@@ -56,6 +65,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS, create_app
 from repro.core import (
+    RunOptions,
     SyntheticTrafficGenerator,
     characterize_message_passing,
     characterize_shared_memory,
@@ -64,13 +74,8 @@ from repro.core import (
 from repro.core.report import spatial_table, temporal_table, volume_table
 from repro.mesh import MeshConfig
 from repro.mp.sp2 import SP2Config
-from repro.obs import (
-    MetricsRegistry,
-    TimelineRecorder,
-    load_metrics,
-    report_from_run,
-    summarize_metrics,
-)
+from repro.obs import load_metrics, report_from_run, summarize_metrics
+from repro.simkernel import SCHEDULERS
 
 
 def _parse_params(entries: Sequence[str]) -> Dict[str, object]:
@@ -101,21 +106,37 @@ def _parse_mesh(spec: str) -> MeshConfig:
     return MeshConfig.parse(spec)
 
 
+def _kernel_options_from_args(
+    args: argparse.Namespace, metrics: bool = False, timeline: bool = False
+) -> Optional[RunOptions]:
+    """A RunOptions bundle from the shared instrumentation flags.
+
+    Returns None when every knob is at its default, so call sites that
+    content-address on the bundle (sweep cache keys) stay stable for
+    flag-free invocations.
+    """
+    scheduler = getattr(args, "scheduler", None)
+    max_no_progress = getattr(args, "max_no_progress", None)
+    if not (metrics or timeline or scheduler or max_no_progress):
+        return None
+    return RunOptions(
+        metrics=metrics,
+        timeline=timeline,
+        scheduler=scheduler,
+        max_no_progress_events=max_no_progress,
+    )
+
+
 def _run_characterization(
     name: str,
     params: Dict[str, object],
     mesh: MeshConfig,
-    obs: Optional[MetricsRegistry] = None,
-    timeline: Optional[TimelineRecorder] = None,
+    options: Optional[RunOptions] = None,
 ):
     app = create_app(name, **params)
     if name in SHARED_MEMORY_APPS:
-        return characterize_shared_memory(
-            app, mesh_config=mesh, obs=obs, timeline=timeline
-        )
-    return characterize_message_passing(
-        app, mesh_config=mesh, obs=obs, timeline=timeline
-    )
+        return characterize_shared_memory(app, mesh_config=mesh, options=options)
+    return characterize_message_passing(app, mesh_config=mesh, options=options)
 
 
 def cmd_apps(_: argparse.Namespace) -> int:
@@ -133,11 +154,13 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     """Run one application through the methodology and report."""
     params = _parse_params(args.param)
     mesh = _parse_mesh(args.mesh)
-    want_obs = bool(args.metrics or args.report)
-    obs = MetricsRegistry() if want_obs else None
-    timeline = TimelineRecorder() if args.timeline else None
+    options = _kernel_options_from_args(
+        args,
+        metrics=bool(args.metrics or args.report),
+        timeline=bool(args.timeline),
+    )
     started = time.perf_counter()
-    run = _run_characterization(args.app, params, mesh, obs=obs, timeline=timeline)
+    run = _run_characterization(args.app, params, mesh, options=options)
     wall_seconds = time.perf_counter() - started
     characterization = run.characterization
     print(characterization.describe())
@@ -154,13 +177,13 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         run.log.write_npz(args.log_npz)
         print(f"\nactivity log written to {args.log_npz} (columnar npz)")
     if args.metrics:
-        obs.write_json(
+        run.registry.write_json(
             args.metrics,
             extra={"app": args.app, "mesh": args.mesh, "params": params},
         )
         print(f"metrics written to {args.metrics}")
     if args.timeline:
-        timeline.write(args.timeline)
+        run.timeline.write(args.timeline)
         print(f"timeline written to {args.timeline} (load in ui.perfetto.dev)")
     if args.report:
         report = report_from_run(
@@ -182,9 +205,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     """Characterize, synthesize, and compare against the original."""
     params = _parse_params(args.param)
     mesh = _parse_mesh(args.mesh)
-    run = _run_characterization(args.app, params, mesh)
+    options = _kernel_options_from_args(args)
+    run = _run_characterization(args.app, params, mesh, options=options)
     generator = SyntheticTrafficGenerator(
-        run.characterization, mesh_config=mesh, seed=args.seed
+        run.characterization, mesh_config=mesh, seed=args.seed, options=options
     )
     synthetic = generator.generate(messages_per_source=args.messages)
     report = compare_logs(run.log, synthetic)
@@ -197,8 +221,22 @@ def _grid_from_args(args: argparse.Namespace):
     """Build a GridSpec from ``--grid FILE`` or the inline axis flags."""
     from repro.sweep import GridSpec, make_grid
 
+    cli_options = _kernel_options_from_args(args)
     if args.grid:
-        return GridSpec.from_json_file(args.grid)
+        grid = GridSpec.from_json_file(args.grid)
+        if cli_options is not None:
+            # Instrumentation flags override the grid file's bundle.
+            from dataclasses import replace
+
+            base = grid.options or RunOptions()
+            grid = replace(
+                grid,
+                options=base.with_(
+                    scheduler=cli_options.scheduler,
+                    max_no_progress_events=cli_options.max_no_progress_events,
+                ),
+            )
+        return grid
     if not args.app:
         raise ValueError("sweep needs --grid FILE or at least one --app")
     app_params: Dict[str, Dict[str, object]] = {}
@@ -228,6 +266,7 @@ def _grid_from_args(args: argparse.Namespace):
         rate_scales=args.rate_scale or (1.0,),
         seeds=args.seed or (0,),
         messages_per_source=args.messages,
+        options=cli_options,
     )
 
 
@@ -360,6 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
         handler=cmd_apps
     )
 
+    def add_instrumentation_arguments(p: argparse.ArgumentParser) -> None:
+        """The kernel flag group shared by every simulating subcommand."""
+        group = p.add_argument_group("simulation kernel")
+        group.add_argument(
+            "--scheduler", choices=SCHEDULERS, default=None,
+            help="event-list implementation: calendar (fast path) or heap "
+                 "(legacy oracle); default follows $REPRO_SCHEDULER, "
+                 "then calendar",
+        )
+        group.add_argument(
+            "--max-no-progress", type=int, default=None, metavar="N",
+            help="abort with a stall diagnosis after N events fire without "
+                 "the clock advancing (default: watchdog off)",
+        )
+
     characterize = sub.add_parser(
         "characterize", help="characterize one application's communication"
     )
@@ -388,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None,
         help="write the machine-readable run report JSON here",
     )
+    add_instrumentation_arguments(characterize)
     characterize.set_defaults(handler=cmd_characterize)
 
     metrics = sub.add_parser(
@@ -404,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--mesh", default="4x2")
     validate.add_argument("--messages", type=int, default=150)
     validate.add_argument("--seed", type=int, default=42)
+    add_instrumentation_arguments(validate)
     validate.set_defaults(handler=cmd_validate)
 
     sp2 = sub.add_parser("sp2-model", help="print the SP2 overhead model")
@@ -461,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=".repro-sweep-cache",
             help="result cache directory (default .repro-sweep-cache)",
         )
+        # The same kernel flags as characterize/validate; they become
+        # part of every cell's RunOptions (and thus its cache key).
+        add_instrumentation_arguments(p)
 
     sweep_run = sweep_sub.add_parser("run", help="execute the grid")
     add_grid_arguments(sweep_run)

@@ -32,12 +32,15 @@ from repro.core.loadsweep import (
     measure_load_point,
     sweep_load,
 )
+from repro.core.options import RunOptions, resolve_run_options
 from repro.core.phases import PhaseSegment, phase_table, segment_phases
 from repro.core.methodology import (
+    CharacterizationRun,
     characterize_log,
     characterize_message_passing,
     characterize_shared_memory,
 )
+from repro.core.run import run_dynamic, run_static, run_synthetic
 from repro.core.spatial import analyze_spatial
 from repro.core.analytical import AnalyticalEstimate, WormholeLatencyModel
 from repro.core.bursts import BurstModel, estimate_bursts
@@ -49,12 +52,14 @@ from repro.core.volume import analyze_volume
 __all__ = [
     "AnalyticalEstimate",
     "BurstModel",
+    "CharacterizationRun",
     "CommunicationCharacterization",
     "LoadMeasurement",
     "LoadPoint",
     "LoadSweep",
     "PhaseCoupledTrafficGenerator",
     "PhaseSegment",
+    "RunOptions",
     "SpatialCharacterization",
     "SyntheticTrafficGenerator",
     "TemporalCharacterization",
@@ -71,6 +76,10 @@ __all__ = [
     "estimate_bursts",
     "measure_load_point",
     "phase_table",
+    "resolve_run_options",
+    "run_dynamic",
+    "run_static",
+    "run_synthetic",
     "segment_phases",
     "sweep_load",
 ]

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.attributes import CommunicationCharacterization
+from repro.core.options import RunOptions
 from repro.core.synthetic import SyntheticTrafficGenerator
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
@@ -116,17 +117,21 @@ def measure_load_point(
     rate_scale: float = 1.0,
     messages_per_source: int = 120,
     seed: int = 99,
+    options: Optional[RunOptions] = None,
 ) -> LoadMeasurement:
     """Drive one synthetic run at ``rate_scale`` and measure it.
 
     The single-point building block of :func:`sweep_load`, exposed so
     grid sweeps can execute points independently (and in parallel).
+    ``options`` configures the synthetic drive's kernel (scheduler,
+    stall/leak checks).
     """
     generator = SyntheticTrafficGenerator(
         characterization,
         mesh_config=mesh_config,
         seed=seed,
         rate_scale=rate_scale,
+        options=options,
     )
     log = generator.generate(messages_per_source=messages_per_source)
     stats = log.summary()
@@ -147,6 +152,7 @@ def sweep_load(
     messages_per_source: int = 120,
     efficiency_threshold: float = 0.5,
     seed: int = 99,
+    options: Optional[RunOptions] = None,
 ) -> LoadSweep:
     """Sweep injection load for a characterized workload.
 
@@ -163,6 +169,8 @@ def sweep_load(
     efficiency_threshold:
         A point achieving less than this fraction of its requested
         rate marks saturation.
+    options:
+        Kernel/instrumentation knobs for every point's synthetic run.
     """
     scales = [float(s) for s in rate_scales]
     if not scales or any(s <= 0 for s in scales):
@@ -184,6 +192,7 @@ def sweep_load(
             rate_scale=scale,
             messages_per_source=messages_per_source,
             seed=seed,
+            options=options,
         ).point
         points.append(point)
         if floor is None:

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 from repro.apps.base import MessagePassingApplication, SharedMemoryApplication
 from repro.coherence.config import CoherenceConfig
 from repro.core.attributes import CommunicationCharacterization
+from repro.core.options import RunOptions, resolve_run_options
 from repro.core.spatial import analyze_spatial
 from repro.core.temporal import analyze_temporal
 from repro.core.volume import analyze_volume
@@ -33,7 +34,6 @@ from repro.mesh.network import MeshNetwork
 from repro.mp.sp2 import SP2Config
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
-from repro.simkernel import Simulator
 from repro.trace.log import TraceLog
 from repro.trace.replay import replay_trace
 
@@ -53,12 +53,20 @@ class CharacterizationRun:
     metrics:
         Snapshot of the metrics registry (only when the pipeline ran
         with observability enabled).
+    registry:
+        The live metrics registry that observed the run (when
+        ``options.metrics`` was on or a legacy ``obs=`` was passed).
+    timeline:
+        The timeline recorder that observed the run, ready to
+        ``write()`` (when ``options.timeline`` was on).
     """
 
     characterization: CommunicationCharacterization
     log: NetworkLog
     trace: Optional[TraceLog] = None
     metrics: Optional[Dict[str, Dict[str, object]]] = None
+    registry: Optional[MetricsRegistry] = None
+    timeline: Optional[TimelineRecorder] = None
 
 
 def characterize_log(
@@ -87,21 +95,26 @@ def characterize_shared_memory(
     mesh_config: Optional[MeshConfig] = None,
     coherence_config: Optional[CoherenceConfig] = None,
     per_source_temporal: bool = False,
+    options: Optional[RunOptions] = None,
     obs: Optional[MetricsRegistry] = None,
     timeline: Optional[TimelineRecorder] = None,
 ) -> CharacterizationRun:
     """Run the dynamic strategy on a shared-memory application.
 
-    Pass ``obs`` (a :class:`~repro.obs.registry.MetricsRegistry`)
-    and/or ``timeline`` to observe the run; the returned run then
-    carries a ``metrics`` snapshot.
+    Pass ``options`` (a :class:`~repro.core.options.RunOptions`) to
+    configure instrumentation and kernel knobs; the returned run then
+    carries the materialized ``registry``/``timeline`` and a
+    ``metrics`` snapshot.  The ``obs=``/``timeline=`` object kwargs are
+    deprecated (one :class:`DeprecationWarning`) but keep working.
     """
+    options, registry, recorder = resolve_run_options(options, obs, timeline)
     mesh_config = mesh_config or MeshConfig()
     sim = app.run(
         mesh_config=mesh_config,
         coherence_config=coherence_config,
-        obs=obs,
-        timeline=timeline,
+        obs=registry,
+        timeline=recorder,
+        options=options,
     )
     characterization = characterize_log(
         sim.log,
@@ -113,7 +126,9 @@ def characterize_shared_memory(
     return CharacterizationRun(
         characterization=characterization,
         log=sim.log,
-        metrics=obs.as_dict() if obs is not None and obs.enabled else None,
+        metrics=registry.as_dict() if registry is not None and registry.enabled else None,
+        registry=registry,
+        timeline=recorder,
     )
 
 
@@ -124,19 +139,27 @@ def characterize_message_passing(
     replay_mode: str = "dependency",
     time_scale: float = 1.0,
     per_source_temporal: bool = False,
+    options: Optional[RunOptions] = None,
     obs: Optional[MetricsRegistry] = None,
     timeline: Optional[TimelineRecorder] = None,
 ) -> CharacterizationRun:
     """Run the static strategy on a message-passing application.
 
     The rank count equals the mesh's node count (each SP2 rank maps
-    onto one mesh node for the replay).  ``obs`` observes both the SP2
-    run and the replay; ``timeline`` records the replay's network
-    activity.
+    onto one mesh node for the replay).  ``options`` configures both
+    the SP2 run and the replay (the registry observes both, the
+    timeline records the replay's network activity); the legacy
+    ``obs=``/``timeline=`` object kwargs are deprecated but keep
+    working.
     """
+    options, registry, recorder = resolve_run_options(options, obs, timeline)
     mesh_config = mesh_config or MeshConfig()
-    runtime = app.run(num_ranks=mesh_config.num_nodes, sp2=sp2, obs=obs)
-    network = MeshNetwork(Simulator(obs=obs), mesh_config, timeline=timeline)
+    runtime = app.run(
+        num_ranks=mesh_config.num_nodes, sp2=sp2, obs=registry, options=options
+    )
+    network = MeshNetwork(
+        options.make_simulator(obs=registry), mesh_config, timeline=recorder
+    )
     log = replay_trace(runtime.trace, network, mode=replay_mode, time_scale=time_scale)
     characterization = characterize_log(
         log,
@@ -149,5 +172,7 @@ def characterize_message_passing(
         characterization=characterization,
         log=log,
         trace=runtime.trace,
-        metrics=obs.as_dict() if obs is not None and obs.enabled else None,
+        metrics=registry.as_dict() if registry is not None and registry.enabled else None,
+        registry=registry,
+        timeline=recorder,
     )

@@ -1,0 +1,166 @@
+"""Unified run configuration for every pipeline entry point.
+
+The characterization pipelines, the synthetic generators, the load
+sweep and the grid runner each used to grow their own ad-hoc keyword
+arguments for instrumentation and kernel knobs.  :class:`RunOptions`
+bundles them into one frozen, JSON-serializable value that travels the
+whole stack: ``run_dynamic``/``run_static``/``run_synthetic``
+(:mod:`repro.core.run`), the ``characterize_*`` pipelines,
+:func:`~repro.core.loadsweep.measure_load_point`, and sweep cell specs
+(where it becomes part of the cell's content address).
+
+The old per-function ``obs=``/``timeline=`` keyword arguments keep
+working through :func:`resolve_run_options`, which emits a single
+:class:`DeprecationWarning` per call and folds the legacy objects into
+the resolved instruments.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TimelineRecorder
+from repro.simkernel import SCHEDULERS, Simulator
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Immutable knob bundle for one simulated run.
+
+    Attributes
+    ----------
+    metrics:
+        Enable the observability layer (a fresh
+        :class:`~repro.obs.registry.MetricsRegistry` per run); the
+        pipeline result then carries the registry and its snapshot.
+    timeline:
+        Record a Chrome trace-event timeline of the run.
+    check_leaks:
+        Audit facility servers after a clean run (default on, as every
+        pipeline did before).
+    check_stall:
+        Treat a drained event list with waiting processes as a
+        :class:`~repro.simkernel.DeadlockError` (ignored for truncated
+        ``until=`` runs, which legitimately stop mid-wait).
+    max_no_progress_events:
+        Arm the kernel watchdog: abort with a stall diagnosis after
+        this many events without the clock advancing (None = off;
+        the fast clock path is only taken when off).
+    scheduler:
+        Event-list implementation, ``"calendar"`` (fast path) or
+        ``"heap"`` (legacy oracle); None defers to the
+        ``REPRO_SCHEDULER`` environment variable, then ``"calendar"``.
+
+    Booleans rather than live registry/recorder objects keep the value
+    hashable and JSON-round-trippable, which sweep cell specs need for
+    content addressing; use :meth:`make_registry`/:meth:`make_timeline`
+    to materialize the instruments for one run.
+    """
+
+    metrics: bool = False
+    timeline: bool = False
+    check_leaks: bool = True
+    check_stall: bool = True
+    max_no_progress_events: Optional[int] = None
+    scheduler: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {', '.join(SCHEDULERS)} or None, "
+                f"got {self.scheduler!r}"
+            )
+        if self.max_no_progress_events is not None and self.max_no_progress_events < 1:
+            raise ValueError(
+                f"max_no_progress_events must be >= 1 or None, "
+                f"got {self.max_no_progress_events}"
+            )
+
+    # ------------------------------------------------------------------
+    # instrument / kernel factories
+    # ------------------------------------------------------------------
+    def make_registry(self) -> Optional[MetricsRegistry]:
+        """A fresh metrics registry when ``metrics`` is on, else None."""
+        return MetricsRegistry() if self.metrics else None
+
+    def make_timeline(self) -> Optional[TimelineRecorder]:
+        """A fresh timeline recorder when ``timeline`` is on, else None."""
+        return TimelineRecorder() if self.timeline else None
+
+    def make_simulator(self, obs: Optional[MetricsRegistry] = None) -> Simulator:
+        """A kernel configured with this bundle's scheduler choice."""
+        return Simulator(obs=obs, scheduler=self.scheduler)
+
+    def run_kwargs(self, until: Optional[float] = None) -> Dict[str, object]:
+        """Keyword arguments for :meth:`Simulator.run` under this bundle.
+
+        Stall detection only applies to run-to-drain executions: a
+        truncated ``until=`` run stops with processes legitimately
+        mid-wait.
+        """
+        return {
+            "until": until,
+            "check_stall": self.check_stall and until is None,
+            "max_no_progress_events": self.max_no_progress_events,
+        }
+
+    def with_(self, **changes: object) -> "RunOptions":
+        """A copy with ``changes`` applied (validated like __init__)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # serialization (sweep cell specs content-address on this)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "RunOptions":
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunOptions field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(doc))  # type: ignore[arg-type]
+
+
+#: The message every deprecated ``obs=``/``timeline=`` call site gets.
+_LEGACY_MESSAGE = (
+    "passing obs=/timeline= is deprecated; pass "
+    "options=RunOptions(metrics=True, timeline=True) instead "
+    "(the run result carries the materialized registry/recorder)"
+)
+
+
+def resolve_run_options(
+    options: Optional[RunOptions],
+    obs: Optional[MetricsRegistry] = None,
+    timeline: Optional[TimelineRecorder] = None,
+    stacklevel: int = 3,
+) -> Tuple[RunOptions, Optional[MetricsRegistry], Optional[TimelineRecorder]]:
+    """Merge an options bundle with legacy instrument kwargs.
+
+    Returns ``(options, registry, recorder)`` where the instruments are
+    the legacy objects when given (so callers that kept references
+    still observe the run), else freshly built from the bundle.  Emits
+    exactly one :class:`DeprecationWarning` per call when any legacy
+    object is supplied; ``stacklevel`` defaults to pointing at the
+    caller of the deprecated pipeline function.
+    """
+    if obs is not None or timeline is not None:
+        warnings.warn(_LEGACY_MESSAGE, DeprecationWarning, stacklevel=stacklevel)
+    if options is None:
+        options = RunOptions(metrics=obs is not None, timeline=timeline is not None)
+    else:
+        if obs is not None and not options.metrics:
+            options = options.with_(metrics=True)
+        if timeline is not None and not options.timeline:
+            options = options.with_(timeline=True)
+    registry = obs if obs is not None else options.make_registry()
+    recorder = timeline if timeline is not None else options.make_timeline()
+    return options, registry, recorder

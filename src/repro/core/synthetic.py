@@ -16,11 +16,12 @@ import numpy as np
 
 from repro.core.attributes import CommunicationCharacterization
 from repro.core.bursts import BurstModel, estimate_bursts
+from repro.core.options import RunOptions
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
-from repro.simkernel import Simulator, check_leaks, hold
+from repro.simkernel import check_leaks, hold
 from repro.stats.spatial_models import SpatialPattern, UniformPattern
 
 
@@ -40,6 +41,9 @@ class SyntheticTrafficGenerator:
     rate_scale:
         Multiplier on the characterized injection rate (>1 = heavier
         load), for load sweeps.
+    options:
+        Optional :class:`~repro.core.options.RunOptions` selecting the
+        kernel scheduler and run-safety knobs for each ``generate``.
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class SyntheticTrafficGenerator:
         mesh_config: Optional[MeshConfig] = None,
         seed: int = 1234,
         rate_scale: float = 1.0,
+        options: Optional[RunOptions] = None,
     ) -> None:
         if rate_scale <= 0:
             raise ValueError(f"rate_scale must be > 0, got {rate_scale}")
@@ -60,6 +65,7 @@ class SyntheticTrafficGenerator:
             )
         self.seed = seed
         self.rate_scale = rate_scale
+        self.options = options or RunOptions()
         sizes = list(characterization.volume.length_fractions.items())
         self._length_values = np.array([s for s, _ in sizes], dtype=int)
         self._length_probs = np.array([p for _, p in sizes], dtype=float)
@@ -107,7 +113,8 @@ class SyntheticTrafficGenerator:
             raise ValueError(
                 f"messages_per_source must be >= 1, got {messages_per_source}"
             )
-        simulator = Simulator()
+        options = self.options
+        simulator = options.make_simulator()
         network = MeshNetwork(simulator, self.mesh_config)
         num_nodes = self.mesh_config.num_nodes
         sources = sorted(self.characterization.spatial.per_source)
@@ -144,11 +151,18 @@ class SyntheticTrafficGenerator:
 
         # A drained queue with sources still blocked is a deadlock, not
         # a completed run; a truncated run is unwound so held channels
-        # are released before the log is handed back.
-        simulator.run(until=until, check_stall=True)
+        # are released before the log is handed back.  (Unlike the
+        # pipeline harnesses, a truncated synthetic drive still stall-
+        # checks: open-loop sources never legitimately block forever.)
+        simulator.run(
+            until=until,
+            check_stall=options.check_stall,
+            max_no_progress_events=options.max_no_progress_events,
+        )
         if until is not None:
             simulator.shutdown()
-        check_leaks(simulator)
+        if options.check_leaks:
+            check_leaks(simulator)
         network.log.seal()
         return network.log
 
@@ -176,7 +190,7 @@ class PhaseCoupledTrafficGenerator:
     source_log:
         The original activity log to estimate bursts from (required
         when ``burst_model`` is None).
-    mesh_config, seed, rate_scale:
+    mesh_config, seed, rate_scale, options:
         As for :class:`SyntheticTrafficGenerator`.
     """
 
@@ -188,9 +202,11 @@ class PhaseCoupledTrafficGenerator:
         mesh_config: Optional[MeshConfig] = None,
         seed: int = 1234,
         rate_scale: float = 1.0,
+        options: Optional[RunOptions] = None,
     ) -> None:
         if rate_scale <= 0:
             raise ValueError(f"rate_scale must be > 0, got {rate_scale}")
+        self.options = options or RunOptions()
         if burst_model is None:
             if source_log is None:
                 raise ValueError("need either burst_model or source_log")
@@ -224,7 +240,8 @@ class PhaseCoupledTrafficGenerator:
         messages; returns the activity log."""
         if total_messages < 1:
             raise ValueError(f"total_messages must be >= 1, got {total_messages}")
-        simulator = Simulator()
+        options = self.options
+        simulator = options.make_simulator()
         network = MeshNetwork(simulator, self.mesh_config)
         rng = np.random.default_rng(self.seed)
         model = self.burst_model
@@ -251,7 +268,11 @@ class PhaseCoupledTrafficGenerator:
                 yield hold(lull / self.rate_scale)
 
         simulator.process(driver(), name="burst-driver")
-        simulator.run(check_stall=True)
-        check_leaks(simulator)
+        simulator.run(
+            check_stall=options.check_stall,
+            max_no_progress_events=options.max_no_progress_events,
+        )
+        if options.check_leaks:
+            check_leaks(simulator)
         network.log.seal()
         return network.log

@@ -41,6 +41,12 @@ class ExecutionDrivenSimulation:
     timeline:
         Optional :class:`~repro.obs.timeline.TimelineRecorder` for
         Chrome trace-event export of the run.
+    options:
+        Optional :class:`~repro.core.options.RunOptions` selecting the
+        event-list scheduler and run-safety knobs (stall detection,
+        leak audit, no-progress watchdog).  Defaults preserve the
+        historical behaviour: stall checking and leak audits on for
+        run-to-drain executions.
 
     Typical use::
 
@@ -62,10 +68,16 @@ class ExecutionDrivenSimulation:
         coherence_config: Optional[CoherenceConfig] = None,
         obs: Optional[MetricsRegistry] = None,
         timeline: Optional[TimelineRecorder] = None,
+        options=None,
     ) -> None:
         self.mesh_config = mesh_config or MeshConfig()
         self.coherence_config = coherence_config or CoherenceConfig()
-        self.simulator = Simulator(obs=obs)
+        # ``options`` is duck-typed (a RunOptions) rather than imported:
+        # repro.core imports this module through the app base class.
+        self.options = options
+        self.simulator = Simulator(
+            obs=obs, scheduler=options.scheduler if options is not None else None
+        )
         self.network = MeshNetwork(self.simulator, self.mesh_config, timeline=timeline)
         self.machine = CCNUMAMachine(self.simulator, self.network, self.coherence_config)
         self.contexts = [
@@ -138,8 +150,16 @@ class ExecutionDrivenSimulation:
             self.simulator.process(thread_body(ctx), name=f"thread[{ctx.pid}]")
             for ctx in self.contexts
         ]
+        options = self.options
         try:
-            end_time = self.simulator.run(until=until, check_stall=until is None)
+            end_time = self.simulator.run(
+                until=until,
+                check_stall=until is None
+                and (options is None or options.check_stall),
+                max_no_progress_events=(
+                    options.max_no_progress_events if options is not None else None
+                ),
+            )
         except DeadlockError as error:
             self.finished = True
             stuck = [t.name for t in threads if not t.finished]
@@ -154,7 +174,7 @@ class ExecutionDrivenSimulation:
             raise RuntimeError(
                 f"threads never finished (deadlock or lost wakeup): {stuck}"
             )
-        if until is None:
+        if until is None and (options is None or options.check_leaks):
             check_leaks(self.simulator)
         return end_time
 

@@ -35,12 +35,18 @@ class MessagePassingRuntime:
         num_ranks: int = 8,
         sp2: Optional[SP2Config] = None,
         obs: Optional[MetricsRegistry] = None,
+        options=None,
     ) -> None:
         if num_ranks < 1:
             raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
         self.sp2 = sp2 or SP2Config()
-        self.simulator = Simulator(obs=obs)
+        # ``options`` is duck-typed (a RunOptions) rather than imported:
+        # repro.core imports this module through the app base class.
+        self.options = options
+        self.simulator = Simulator(
+            obs=obs, scheduler=options.scheduler if options is not None else None
+        )
         self.obs = self.simulator.obs
         self.trace = TraceLog()
         self.contexts = [MPIContext(self, rank) for rank in range(num_ranks)]
@@ -84,8 +90,16 @@ class MessagePassingRuntime:
             self.simulator.process(rank_body(comm), name=f"rank[{comm.rank}]")
             for comm in self.contexts
         ]
+        options = self.options
         try:
-            end_time = self.simulator.run(until=until, check_stall=until is None)
+            end_time = self.simulator.run(
+                until=until,
+                check_stall=until is None
+                and (options is None or options.check_stall),
+                max_no_progress_events=(
+                    options.max_no_progress_events if options is not None else None
+                ),
+            )
         except DeadlockError as error:
             self.finished = True
             stuck = [r.name for r in ranks if not r.finished]

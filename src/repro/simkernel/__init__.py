@@ -34,17 +34,24 @@ Example
 """
 
 from repro.simkernel.engine import (
+    SCHEDULER_ENV,
+    SCHEDULERS,
     Hold,
+    InvalidDelayError,
     Passivate,
     Process,
     ProcessState,
     SimulationError,
     Simulator,
     Wait,
+    default_scheduler,
     hold,
     passivate,
+    steady_clock,
     wait,
 )
+from repro.simkernel.engine_calendar import CalendarScheduler
+from repro.simkernel.engine_heap import HeapScheduler
 from repro.simkernel.diagnosis import (
     DeadlockError,
     FacilityLeakError,
@@ -60,10 +67,13 @@ from repro.simkernel.mailbox import Mailbox, Receive, Send, receive, send
 from repro.simkernel.random_streams import RandomStreams
 
 __all__ = [
+    "CalendarScheduler",
     "DeadlockError",
     "Facility",
     "FacilityLeakError",
+    "HeapScheduler",
     "Hold",
+    "InvalidDelayError",
     "Mailbox",
     "Passivate",
     "Process",
@@ -72,6 +82,8 @@ __all__ = [
     "Receive",
     "Release",
     "Request",
+    "SCHEDULERS",
+    "SCHEDULER_ENV",
     "Send",
     "SimEvent",
     "SimulationError",
@@ -80,6 +92,7 @@ __all__ = [
     "StallError",
     "Wait",
     "check_leaks",
+    "default_scheduler",
     "describe_leaks",
     "diagnose_stall",
     "hold",
@@ -88,5 +101,6 @@ __all__ = [
     "release",
     "request",
     "send",
+    "steady_clock",
     "wait",
 ]

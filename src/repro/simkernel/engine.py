@@ -10,22 +10,72 @@ from``, model code can be factored into ordinary sub-generators.
 Only the commands defined in this package are understood by the engine;
 yielding anything else raises :class:`SimulationError` immediately,
 which keeps model bugs loud instead of silently stalling.
+
+Two interchangeable event lists sit under the executive, selected by
+``Simulator(scheduler=...)`` (or the ``REPRO_SCHEDULER`` environment
+variable when unset):
+
+* ``"calendar"`` (default) -- the fast path: a calendar-queue
+  (bucketed timing-wheel) of slab-pooled event records
+  (:mod:`repro.simkernel.engine_calendar`), with process stepping and
+  command dispatch inlined into :func:`steady_clock` and wakeup waves
+  batched into single queue touches;
+* ``"heap"`` -- the original global ``heapq`` of ``(time, seq,
+  closure)`` tuples (:mod:`repro.simkernel.engine_heap`), preserved
+  verbatim as the property-test oracle.
+
+Both produce the identical ``(time, seq)`` total event order, so clean
+runs are bit-for-bit reproducible across schedulers.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Tuple
+import os
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.simkernel.engine_calendar import (
+    POOL_LIMIT,
+    CalendarScheduler,
+    EventRecord,
+)
+from repro.simkernel.engine_heap import HeapScheduler
+
+#: Event-list implementations accepted by :class:`Simulator`.
+SCHEDULERS = ("calendar", "heap")
+
+#: Environment variable consulted when ``Simulator(scheduler=None)``.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
 class SimulationError(RuntimeError):
     """Raised for malformed model behaviour (bad yields, double release,
     running a finished simulator, and similar programming errors)."""
+
+
+class InvalidDelayError(SimulationError, ValueError):
+    """A negative scheduling delay: the event would fire in the past.
+
+    Subclasses both :class:`SimulationError` (so existing kernel error
+    handling keeps working) and :class:`ValueError` (it is an invalid
+    argument value); the message names the offending delay.
+    """
+
+
+def default_scheduler() -> str:
+    """The event-list choice when ``Simulator(scheduler=None)``: the
+    ``REPRO_SCHEDULER`` environment variable, else ``"calendar"``."""
+    choice = os.environ.get(SCHEDULER_ENV, "").strip() or "calendar"
+    if choice not in SCHEDULERS:
+        raise SimulationError(
+            f"{SCHEDULER_ENV}={choice!r} is not a valid scheduler; "
+            f"choose one of {', '.join(SCHEDULERS)}"
+        )
+    return choice
 
 
 class ProcessState(enum.Enum):
@@ -90,6 +140,21 @@ class Process:
     delivered as the value of the ``yield`` expression.
     """
 
+    __slots__ = (
+        "simulator",
+        "name",
+        "state",
+        "result",
+        "error",
+        "_body",
+        "_send",
+        "_waiters",
+        "_held",
+        "waiting_on",
+        "holds",
+        "waits",
+    )
+
     def __init__(self, simulator: "Simulator", body: ProcessBody, name: str) -> None:
         self.simulator = simulator
         self.name = name
@@ -97,6 +162,9 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._body = body
+        # Pre-bound ``body.send``: the clock resumes the generator once
+        # per event, so binding the method there would be pure churn.
+        self._send = body.send
         self._waiters: List[Process] = []
         # Resource-lifecycle bookkeeping.  ``_held`` maps each facility
         # this process currently holds to its server count (a process
@@ -153,12 +221,276 @@ class Process:
         return self.result
 
 
+def steady_clock(simulator: "Simulator", until: Optional[float] = None) -> float:
+    """Drain the event list with no stall-watchdog bookkeeping.
+
+    This is the fast path of :meth:`Simulator.run`, used whenever
+    ``max_no_progress_events`` is unarmed: on the calendar scheduler it
+    pops slab records straight off the now-FIFO, resumes the process
+    generator inline (no per-event closure, no ``_step``/``_dispatch``
+    frames for the hot commands), and reschedules holds with a single
+    calendar push.  On the heap scheduler it falls back to the legacy
+    loop so the oracle's behaviour stays byte-for-byte the original.
+
+    Returns the final clock value.
+    """
+    if not simulator._fast:
+        simulator._clock_heap(until, None)
+        return simulator._now
+
+    # Deferred imports: facility/mailbox import this module at load
+    # time, and the hot loop below special-cases their command types.
+    from repro.simkernel.facility import Release, Request
+    from repro.simkernel.mailbox import Receive, Send
+
+    sched = simulator._sched
+    fifo = sched._fifo
+    pool = sched._pool
+    # Cleared in place, never rebound, so caching them here stays
+    # valid for the life of the scheduler.
+    waves = sched._waves
+    times = sched._times
+    pool_limit = POOL_LIMIT
+    observed = simulator._observed
+    interval = simulator.QUEUE_SAMPLE_INTERVAL
+    RUNNABLE = ProcessState.RUNNABLE
+    WAITING = ProcessState.WAITING
+    FINISHED = ProcessState.FINISHED
+    FAILED = ProcessState.FAILED
+    fired = 0
+    try:
+        while not simulator._stopped:
+            if until is not None:
+                when = sched.peek_time()
+                if when is None:
+                    break
+                if when > until:
+                    simulator._now = max(simulator._now, until)
+                    break
+            head = sched._head
+            if head < len(fifo):
+                rec = fifo[head]
+                fifo[head] = None
+                sched._head = head + 1
+            else:
+                rec = sched.pop()
+                if rec is None:
+                    break
+            simulator._now = now = rec.time
+            proc = rec.proc
+            if proc is None:
+                callback = rec.callback
+                rec.callback = None
+                if len(pool) < pool_limit:
+                    pool.append(rec)
+                callback()
+            else:
+                value = rec.value
+                rec.value = None
+                state = proc.state
+                if state is FINISHED or state is FAILED:
+                    rec.proc = None
+                    if len(pool) < pool_limit:
+                        pool.append(rec)
+                else:
+                    simulator.current_process = proc
+                    try:
+                        command = proc._send(value)
+                    except StopIteration as stop_marker:
+                        rec.proc = None
+                        if len(pool) < pool_limit:
+                            pool.append(rec)
+                        proc.state = FINISHED
+                        proc.result = stop_marker.value
+                        if observed:
+                            simulator._m_holds_per_proc.observe(proc.holds)
+                            simulator._m_waits_per_proc.observe(proc.waits)
+                        simulator._wake_joiners(proc)
+                        simulator.current_process = None
+                    except BaseException as exc:  # noqa: BLE001 - model errors must surface
+                        rec.proc = None
+                        if len(pool) < pool_limit:
+                            pool.append(rec)
+                        proc.state = FAILED
+                        proc.error = exc
+                        simulator._wake_joiners(proc)
+                        simulator.current_process = None
+                        raise
+                    else:
+                        simulator.current_process = None
+                        command_type = type(command)
+                        if command_type is Hold:
+                            duration = command.duration
+                            if observed:
+                                proc.holds += 1
+                                simulator._m_holds.inc()
+                                simulator._m_hold_time.observe(duration)
+                            proc.state = RUNNABLE
+                            proc.waiting_on = None
+                            # Reuse the record just fired: ``proc`` is
+                            # already set and ``value`` already cleared,
+                            # so the reschedule touches no pool at all.
+                            # (Inline CalendarScheduler.push_step.)
+                            when = now + duration
+                            rec.time = when
+                            if when == sched._floor:
+                                fifo.append(rec)
+                            else:
+                                wave = waves.get(when)
+                                if wave is None:
+                                    waves[when] = [rec]
+                                    heappush(times, when)
+                                else:
+                                    wave.append(rec)
+                        elif command_type is Send:
+                            # Inline Send._execute + Mailbox.put: both
+                            # wakeups are zero-delay, and inside this
+                            # loop ``now == floor`` always, so they go
+                            # straight onto the now-FIFO -- receiver
+                            # first, then the sender's own resume
+                            # (which reuses the fired record).
+                            box = command.mailbox
+                            box.total_sent += 1
+                            waiters = box._waiters
+                            if waiters:
+                                receiver = waiters.popleft()
+                                box.total_received += 1
+                                receiver.state = RUNNABLE
+                                receiver.waiting_on = None
+                                rec2 = pool.pop() if pool else EventRecord()
+                                rec2.time = now
+                                rec2.proc = receiver
+                                rec2.value = command.message
+                                fifo.append(rec2)
+                            else:
+                                box._messages.append(command.message)
+                            proc.state = RUNNABLE
+                            proc.waiting_on = None
+                            fifo.append(rec)
+                        elif command_type is Receive:
+                            # Inline Receive._execute: a ready message
+                            # resumes this process at ``now`` (reusing
+                            # the fired record); otherwise park it.
+                            box = command.mailbox
+                            msgs = box._messages
+                            if msgs:
+                                box.total_received += 1
+                                proc.state = RUNNABLE
+                                proc.waiting_on = None
+                                rec.value = msgs.popleft()
+                                fifo.append(rec)
+                            else:
+                                rec.proc = None
+                                if len(pool) < pool_limit:
+                                    pool.append(rec)
+                                proc.state = WAITING
+                                box._waiters.append(proc)
+                                proc.waiting_on = box
+                        elif command_type is Request:
+                            # Inline Request._execute/Facility._request:
+                            # an immediate grant resumes the requester
+                            # at ``now`` (reusing the fired record).
+                            fac = command.facility
+                            fac._integrate()
+                            fac.total_requests += 1
+                            if fac._busy < fac.servers:
+                                fac._busy += 1
+                                held_map = proc._held
+                                held_map[fac] = held_map.get(fac, 0) + 1
+                                fac._wait_times.append(0.0)
+                                proc.state = RUNNABLE
+                                proc.waiting_on = None
+                                fifo.append(rec)
+                            else:
+                                rec.proc = None
+                                if len(pool) < pool_limit:
+                                    pool.append(rec)
+                                fac.total_queued += 1
+                                fac._enqueue_times[id(proc)] = now
+                                fac._queue.append(proc)
+                                proc.state = WAITING
+                                proc.waiting_on = fac
+                        elif command_type is Release:
+                            # Inline Release._execute/Facility._release:
+                            # grantee first, then the releaser's own
+                            # zero-delay resume (reusing the record).
+                            fac = command.facility
+                            fac._integrate()
+                            held = proc._held.get(fac, 0)
+                            if held <= 0:
+                                raise SimulationError(
+                                    f"process {proc.name!r} released facility "
+                                    f"{fac.name!r} it does not hold"
+                                )
+                            if held == 1:
+                                del proc._held[fac]
+                            else:
+                                proc._held[fac] = held - 1
+                            queue = fac._queue
+                            if queue:
+                                nxt = queue.popleft()
+                                queued_at = fac._enqueue_times.pop(id(nxt))
+                                fac._wait_times.append(now - queued_at)
+                                held_map = nxt._held
+                                held_map[fac] = held_map.get(fac, 0) + 1
+                                nxt.state = RUNNABLE
+                                nxt.waiting_on = None
+                                rec2 = pool.pop() if pool else EventRecord()
+                                rec2.time = now
+                                rec2.proc = nxt
+                                rec2.value = None
+                                fifo.append(rec2)
+                            else:
+                                fac._busy -= 1
+                            proc.state = RUNNABLE
+                            proc.waiting_on = None
+                            fifo.append(rec)
+                        else:
+                            rec.proc = None
+                            if len(pool) < pool_limit:
+                                pool.append(rec)
+                            if command_type is Wait:
+                                proc.state = WAITING
+                                if observed:
+                                    proc.waits += 1
+                                    simulator._m_waits.inc()
+                                command.event._add_waiter(proc)
+                            elif command_type is Passivate:
+                                proc.state = WAITING
+                            else:
+                                handler = getattr(command, "_execute", None)
+                                if handler is None:
+                                    # Subclassed commands and unknown yields
+                                    # take the generic (legacy) dispatcher.
+                                    simulator._dispatch(proc, command)
+                                else:
+                                    proc.state = WAITING
+                                    handler(proc)
+            fired += 1
+            if observed:
+                simulator._m_events.inc()
+                simulator._events_since_sample += 1
+                if simulator._events_since_sample >= interval:
+                    simulator._events_since_sample = 0
+                    simulator._m_queue_depth.sample(simulator._now, len(sched))
+                    simulator._m_active.sample(
+                        simulator._now, simulator.active_process_count
+                    )
+    finally:
+        simulator.events_fired += fired
+    return simulator._now
+
+
 class Simulator:
     """The simulation executive: clock, event list, and process table.
 
-    The event list is a binary heap keyed on ``(time, sequence)`` so
-    that simultaneous events fire in deterministic FIFO order -- a
-    property the network simulator's contention accounting relies on.
+    The event list keeps the total order ``(time, sequence)`` so that
+    simultaneous events fire in deterministic FIFO order -- a property
+    the network simulator's contention accounting relies on.  Two
+    implementations are available (identical observable order):
+    ``scheduler="calendar"`` (default; see module docstring) and
+    ``scheduler="heap"`` (the legacy oracle).  ``scheduler=None``
+    consults the ``REPRO_SCHEDULER`` environment variable.
 
     Pass a :class:`~repro.obs.registry.MetricsRegistry` as ``obs`` to
     record kernel metrics (events fired, processes created, hold/wait
@@ -169,14 +501,32 @@ class Simulator:
     #: Sample the event-queue depth every this many fired events.
     QUEUE_SAMPLE_INTERVAL = 64
 
-    def __init__(self, obs: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        obs: Optional[MetricsRegistry] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
+        if scheduler is None:
+            scheduler = default_scheduler()
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose one of "
+                + ", ".join(SCHEDULERS)
+            )
+        self.scheduler = scheduler
+        self._fast = scheduler == "calendar"
+        self._sched = CalendarScheduler() if self._fast else HeapScheduler()
+        # Bound-method fast path for the hottest wakeup call sites
+        # (``None`` selects the legacy closure push).
+        self._push_step = self._sched.push_step if self._fast else None
+        self._seq = itertools.count()  # heap-path (time, seq) tie-break
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
         self._processes: List[Process] = []
         self.current_process: Optional[Process] = None
         self._running = False
         self._stopped = False
+        #: Total events fired across all ``run()`` calls.
+        self.events_fired = 0
         self.obs = obs if obs is not None else NULL_REGISTRY
         self._observed = self.obs.enabled
         if self._observed:
@@ -206,14 +556,27 @@ class Simulator:
         """Number of processes that have not yet finished."""
         return sum(1 for p in self._processes if not p.finished)
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of pending events on the event list."""
+        return len(self._sched)
+
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        A negative ``delay`` raises :class:`InvalidDelayError` (a
+        :class:`ValueError`): the event would fire in the simulated
+        past and rewind the clock inside :meth:`run`.
+        """
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback))
+            raise InvalidDelayError(f"cannot schedule into the past (delay={delay})")
+        if self._fast:
+            self._sched.push_callback(self._now + delay, callback)
+        else:
+            self._sched.push(self._now + delay, next(self._seq), callback)
 
     def process(self, body: ProcessBody, name: str = "process") -> Process:
         """Create a process from generator ``body`` and schedule its start."""
@@ -224,8 +587,7 @@ class Simulator:
             )
         proc = Process(self, body, name)
         self._processes.append(proc)
-        proc.state = ProcessState.RUNNABLE
-        self.schedule(0.0, lambda: self._step(proc, None))
+        self._schedule_step(proc, None)
         if self._observed:
             self._m_processes.inc()
         return proc
@@ -257,7 +619,9 @@ class Simulator:
         many consecutive events fire without the clock advancing (a
         zero-delay event storm), the run raises
         :class:`~repro.simkernel.diagnosis.StallError` with the same
-        wait-for diagnosis attached.
+        wait-for diagnosis attached.  When the watchdog is unarmed the
+        run takes the :func:`steady_clock` fast path, which skips the
+        per-event progress bookkeeping entirely.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
@@ -267,25 +631,55 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
+        try:
+            if max_no_progress_events is None:
+                steady_clock(self, until)
+            else:
+                self._watchdog_clock(until, max_no_progress_events)
+        finally:
+            self._running = False
+        if until is not None and not self._sched and self._now < until:
+            self._now = until
+        if check_stall and not self._stopped and not self._sched:
+            blocked = [p for p in self._processes if p.state is ProcessState.WAITING]
+            if blocked:
+                from repro.simkernel.diagnosis import DeadlockError, diagnose_stall
+
+                diagnosis = diagnose_stall(self)
+                raise DeadlockError(
+                    diagnosis.describe(), cycle=diagnosis.cycle_names()
+                )
+        return self._now
+
+    # ------------------------------------------------------------------
+    # clock loops (steady_clock above is the no-watchdog fast path)
+    # ------------------------------------------------------------------
+    def _clock_heap(
+        self, until: Optional[float], max_no_progress_events: Optional[int]
+    ) -> None:
+        """The original event loop, verbatim, over the heap oracle."""
+        queue = self._sched._queue
         observed = self._observed
         no_progress = 0
+        fired = 0
         try:
-            while self._queue and not self._stopped:
-                when, _, callback = self._queue[0]
+            while queue and not self._stopped:
+                when, _, callback = queue[0]
                 if until is not None and when > until:
                     self._now = max(self._now, until)
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 if max_no_progress_events is not None:
                     no_progress = 0 if when > self._now else no_progress + 1
                 self._now = when
                 callback()
+                fired += 1
                 if observed:
                     self._m_events.inc()
                     self._events_since_sample += 1
                     if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
                         self._events_since_sample = 0
-                        self._m_queue_depth.sample(self._now, len(self._queue))
+                        self._m_queue_depth.sample(self._now, len(queue))
                         self._m_active.sample(self._now, self.active_process_count)
                 if (
                     max_no_progress_events is not None
@@ -298,19 +692,53 @@ class Simulator:
                         f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
                     )
         finally:
-            self._running = False
-        if until is not None and not self._queue and self._now < until:
-            self._now = until
-        if check_stall and not self._stopped and not self._queue:
-            blocked = [p for p in self._processes if p.state is ProcessState.WAITING]
-            if blocked:
-                from repro.simkernel.diagnosis import DeadlockError, diagnose_stall
+            self.events_fired += fired
 
-                diagnosis = diagnose_stall(self)
-                raise DeadlockError(
-                    diagnosis.describe(), cycle=diagnosis.cycle_names()
-                )
-        return self._now
+    def _watchdog_clock(self, until: Optional[float], limit: int) -> None:
+        """Event loop with the livelock watchdog armed (either scheduler)."""
+        if not self._fast:
+            self._clock_heap(until, limit)
+            return
+        sched = self._sched
+        observed = self._observed
+        no_progress = 0
+        fired = 0
+        try:
+            while not self._stopped:
+                when = sched.peek_time()
+                if when is None:
+                    break
+                if until is not None and when > until:
+                    self._now = max(self._now, until)
+                    break
+                no_progress = 0 if when > self._now else no_progress + 1
+                self._now = when
+                rec = sched.pop()
+                proc = rec.proc
+                value = rec.value
+                callback = rec.callback
+                sched.recycle(rec)
+                if proc is None:
+                    callback()
+                else:
+                    self._step(proc, value)
+                fired += 1
+                if observed:
+                    self._m_events.inc()
+                    self._events_since_sample += 1
+                    if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
+                        self._events_since_sample = 0
+                        self._m_queue_depth.sample(self._now, len(sched))
+                        self._m_active.sample(self._now, self.active_process_count)
+                if no_progress >= limit:
+                    from repro.simkernel.diagnosis import StallError, diagnose_stall
+
+                    raise StallError(
+                        f"no simulated-time progress after {no_progress} events "
+                        f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
+                    )
+        finally:
+            self.events_fired += fired
 
     # ------------------------------------------------------------------
     # lifecycle audits and teardown
@@ -387,7 +815,7 @@ class Simulator:
                     while proc._held.get(resource, 0) > 0:
                         abandon(proc)
             terminated.append(proc)
-        self._queue.clear()
+        self._sched.clear()
         if errors:
             summary = "; ".join(
                 f"{proc.name!r}: {type(exc).__name__}: {exc}" for proc, exc in errors
@@ -402,10 +830,52 @@ class Simulator:
     # ------------------------------------------------------------------
     # process stepping
     # ------------------------------------------------------------------
-    def _schedule_step(self, proc: Process, value: Any = None, delay: float = 0.0) -> None:
+    def _schedule_step(
+        self, proc: Process, value: Any = None, delay: float = 0.0
+    ) -> None:
+        if delay < 0:
+            raise InvalidDelayError(f"cannot schedule into the past (delay={delay})")
         proc.state = ProcessState.RUNNABLE
         proc.waiting_on = None
-        self.schedule(delay, lambda: self._step(proc, value))
+        push = self._push_step
+        if push is not None:
+            push(self._now + delay, proc, value)
+        else:
+            self._sched.push(
+                self._now + delay, next(self._seq), lambda: self._step(proc, value)
+            )
+
+    def _schedule_step_batch(self, procs: Sequence[Process], value: Any) -> None:
+        """Wake a wave of processes at ``now`` with one queue touch.
+
+        Used for grant/broadcast waves (event ``set``/``pulse``, join
+        wakeups, mailbox broadcasts): on the calendar scheduler the
+        whole wave lands on the now-FIFO in a single extend instead of
+        one heap push per waiter.  Relative wake order is the iteration
+        order of ``procs``, exactly as the per-waiter loop produced.
+        """
+        if self._fast:
+            RUNNABLE = ProcessState.RUNNABLE
+            for proc in procs:
+                proc.state = RUNNABLE
+                proc.waiting_on = None
+            self._sched.push_step_wave(self._now, procs, value)
+        else:
+            for proc in procs:
+                self._schedule_step(proc, value)
+
+    def _schedule_step_pairs(self, pairs: Sequence[Tuple[Process, Any]]) -> None:
+        """Wake ``(process, value)`` pairs at ``now`` with one queue touch
+        (mailbox broadcast waves, where each waiter gets its own message)."""
+        if self._fast:
+            RUNNABLE = ProcessState.RUNNABLE
+            for proc, _ in pairs:
+                proc.state = RUNNABLE
+                proc.waiting_on = None
+            self._sched.push_step_pairs(self._now, pairs)
+        else:
+            for proc, value in pairs:
+                self._schedule_step(proc, value)
 
     def _step(self, proc: Process, value: Any) -> None:
         if proc.finished:
@@ -433,9 +903,10 @@ class Simulator:
 
     def _wake_joiners(self, proc: Process) -> None:
         waiters, proc._waiters = proc._waiters, []
-        for waiter in waiters:
-            if not waiter.finished:
-                self._schedule_step(waiter, proc.result)
+        if waiters:
+            alive = [w for w in waiters if not w.finished]
+            if alive:
+                self._schedule_step_batch(alive, proc.result)
 
     def _dispatch(self, proc: Process, command: Any) -> None:
         handler = getattr(command, "_execute", None)

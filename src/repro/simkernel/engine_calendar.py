@@ -1,0 +1,241 @@
+"""Bucketed event list (exact-timestamp calendar) for the fast kernel.
+
+This is the default event list behind :class:`repro.simkernel.engine.
+Simulator`.  It replaces the single global binary heap of
+``(time, seq, closure)`` tuples with three cooperating structures:
+
+* a **now-FIFO** -- a plain list (drained by index, not ``pop(0)``) of
+  events scheduled at exactly the scheduler *floor*, the time of the
+  most recently dequeued event.  Zero-delay wakeups -- the bulk of
+  facility grants and mailbox handoffs -- land here and are popped in
+  O(1) with no comparisons at all;
+* **waves** -- a dict mapping each exact future timestamp to the list
+  of event records scheduled for it, appended in schedule order;
+* a **lazy time heap** -- a min-heap of the wave timestamps, pushed
+  once when a wave is first created.
+
+This is a calendar queue taken to its sparse limit: instead of slicing
+time into fixed-width buckets (whose min-scans and splits run at
+Python speed and dominate once a bucket holds mixed timestamps), every
+distinct timestamp *is* its own bucket, and the cross-bucket order is
+kept by ``heapq`` over bare floats -- C-speed compares, no tuple
+allocation, and never a stale entry, because a wave's timestamp enters
+the heap exactly once and leaves when the wave is promoted.  Discrete-
+event models make this degenerate layout the fast one: quantized link
+and service times pile many events onto few distinct timestamps, so
+the per-wave heap cost amortizes toward zero.
+
+Event records are slab-pooled :class:`EventRecord` instances with
+``__slots__``: the engine recycles each record after firing it, so a
+steady-state run allocates no per-event objects at all (the legacy heap
+path allocates one closure plus one tuple per event).
+
+Ordering contract
+-----------------
+The engine's observable event order is the total order ``(time, seq)``
+with ``seq`` a monotone schedule counter -- simultaneous events fire in
+the order they were scheduled.  Here that order is structural; no
+counter is stored:
+
+* events at the same timestamp share one wave list and are appended in
+  schedule order;
+* when the floor advances to the heap-minimum timestamp, the whole
+  wave is promoted into the (empty) now-FIFO in one ``extend``, and
+  any event scheduled at the floor *afterwards* is appended behind it
+  -- so FIFO order within a timestamp is global, not per-structure;
+* events can only be scheduled at ``t == floor`` while the clock sits
+  at the floor (delays are non-negative and the engine clock never
+  trails the floor), so routing exact-floor pushes to the now-FIFO
+  never bypasses an earlier event still parked in a wave.
+
+The engine's ``steady_clock`` inlines the hot paths, so the layout of
+``_fifo``/``_waves``/``_times`` is load-bearing: they are cleared in
+place, never rebound.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Sequence
+
+
+#: Cap on pooled records, to bound slab memory after a burst.
+POOL_LIMIT = 8192
+
+
+class EventRecord:
+    """One pending event: a process step or a raw callback.
+
+    Records are owned by the scheduler's slab pool; model code never
+    sees them.  ``proc is None`` marks a callback record.
+    """
+
+    __slots__ = ("time", "proc", "value", "callback")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.proc: Any = None
+        self.value: Any = None
+        self.callback: Optional[Callable[[], None]] = None
+
+
+class CalendarScheduler:
+    """Exact-timestamp bucketed event list with a zero-delay fast lane."""
+
+    __slots__ = ("_waves", "_times", "_fifo", "_head", "_floor", "_pool")
+
+    def __init__(self) -> None:
+        self._waves: dict = {}
+        self._times: List[float] = []
+        self._fifo: List[Optional[EventRecord]] = []
+        self._head = 0
+        self._floor = 0.0
+        self._pool: List[EventRecord] = []
+
+    def __len__(self) -> int:
+        pending = len(self._fifo) - self._head
+        for wave in self._waves.values():
+            pending += len(wave)
+        return pending
+
+    def __bool__(self) -> bool:
+        return self._head < len(self._fifo) or bool(self._times)
+
+    # ------------------------------------------------------------------
+    # push
+    # ------------------------------------------------------------------
+    def push_step(self, time: float, proc: Any, value: Any) -> None:
+        """Schedule a process resume at ``time`` (absolute)."""
+        pool = self._pool
+        rec = pool.pop() if pool else EventRecord()
+        rec.time = time
+        rec.proc = proc
+        rec.value = value
+        if time == self._floor:
+            self._fifo.append(rec)
+        else:
+            wave = self._waves.get(time)
+            if wave is None:
+                self._waves[time] = [rec]
+                heappush(self._times, time)
+            else:
+                wave.append(rec)
+
+    def push_callback(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a raw callback at ``time`` (absolute)."""
+        pool = self._pool
+        rec = pool.pop() if pool else EventRecord()
+        rec.time = time
+        rec.callback = callback
+        if time == self._floor:
+            self._fifo.append(rec)
+        else:
+            wave = self._waves.get(time)
+            if wave is None:
+                self._waves[time] = [rec]
+                heappush(self._times, time)
+            else:
+                wave.append(rec)
+
+    def push_step_wave(self, time: float, procs: Sequence[Any], value: Any) -> None:
+        """Schedule one resume per process in ``procs``, in order, with a
+        single queue touch when the wave lands on the now-FIFO (the
+        common case: grant/broadcast waves are zero-delay)."""
+        if not procs:
+            return
+        if time == self._floor:
+            target = self._fifo
+        else:
+            target = self._waves.get(time)
+            if target is None:
+                self._waves[time] = target = []
+                heappush(self._times, time)
+        pool = self._pool
+        for proc in procs:
+            rec = pool.pop() if pool else EventRecord()
+            rec.time = time
+            rec.proc = proc
+            rec.value = value
+            target.append(rec)
+
+    def push_step_pairs(self, time: float, pairs: Sequence[tuple]) -> None:
+        """Like :meth:`push_step_wave`, but each ``(proc, value)`` pair
+        carries its own delivered value (mailbox broadcast waves)."""
+        if not pairs:
+            return
+        if time == self._floor:
+            target = self._fifo
+        else:
+            target = self._waves.get(time)
+            if target is None:
+                self._waves[time] = target = []
+                heappush(self._times, time)
+        pool = self._pool
+        for proc, value in pairs:
+            rec = pool.pop() if pool else EventRecord()
+            rec.time = time
+            rec.proc = proc
+            rec.value = value
+            target.append(rec)
+
+    # ------------------------------------------------------------------
+    # pop / peek
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[EventRecord]:
+        """Dequeue the ``(time, seq)``-minimum event record.
+
+        The caller owns the returned record and must hand it back via
+        :meth:`recycle` (or clear and pool it directly) after firing.
+        """
+        head = self._head
+        fifo = self._fifo
+        if head < len(fifo):
+            rec = fifo[head]
+            fifo[head] = None
+            self._head = head + 1
+            return rec
+        if head:
+            del fifo[:]
+        if not self._times:
+            self._head = 0
+            return None
+        when = heappop(self._times)
+        self._floor = when
+        # Promote the whole wave: one C-level extend, and later pushes
+        # at ``when`` append behind its remaining events.
+        fifo.extend(self._waves.pop(when))
+        rec = fifo[0]
+        fifo[0] = None
+        self._head = 1
+        return rec
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when empty."""
+        fifo = self._fifo
+        if self._head < len(fifo):
+            return fifo[self._head].time
+        if self._times:
+            return self._times[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # slab pool / lifecycle
+    # ------------------------------------------------------------------
+    def recycle(self, rec: EventRecord) -> None:
+        """Return a fired record to the slab pool."""
+        rec.proc = None
+        rec.value = None
+        rec.callback = None
+        if len(self._pool) < POOL_LIMIT:
+            self._pool.append(rec)
+
+    def clear(self) -> None:
+        """Drop every pending event (shutdown/truncation path).
+
+        Clears in place: the engine's inlined clock caches these
+        containers by identity.
+        """
+        self._waves.clear()
+        del self._times[:]
+        del self._fifo[:]
+        self._head = 0

@@ -65,9 +65,11 @@ class SimEvent:
         self._set = False
 
     def _release_all(self, value: Any) -> None:
+        # One grant wave: a single queue touch wakes every waiter (in
+        # FIFO order) instead of one scheduler push per process.
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.simulator._schedule_step(proc, value)
+        if waiters:
+            self.simulator._schedule_step_batch(waiters, value)
 
     def _add_waiter(self, proc: Optional[Process]) -> None:
         if proc is None:

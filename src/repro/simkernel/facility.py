@@ -35,8 +35,9 @@ class Release:
 
     def _execute(self, proc: Process) -> None:
         self.facility._release(proc)
-        # Releasing never blocks: resume the caller immediately.
-        proc.simulator._schedule_step(proc, None)
+        # Releasing never blocks: resume the caller immediately (an
+        # explicit zero-delay wakeup, clamped to the current clock).
+        proc.simulator._schedule_step(proc, None, delay=0.0)
 
 
 def request(facility: "Facility") -> Request:
@@ -160,7 +161,7 @@ class Facility:
             self._busy += 1
             self._grant(proc)
             self._wait_times.append(0.0)
-            self.simulator._schedule_step(proc, None)
+            self.simulator._schedule_step(proc, None, delay=0.0)
         else:
             self.total_queued += 1
             self._enqueue_times[id(proc)] = self.simulator.now
@@ -183,7 +184,7 @@ class Facility:
             queued_at = self._enqueue_times.pop(id(nxt))
             self._wait_times.append(self.simulator.now - queued_at)
             self._grant(nxt)
-            self.simulator._schedule_step(nxt, None)
+            self.simulator._schedule_step(nxt, None, delay=0.0)
         else:
             self._busy -= 1
 

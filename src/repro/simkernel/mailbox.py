@@ -34,7 +34,9 @@ class Send:
 
     def _execute(self, proc: Process) -> None:
         self.mailbox.put(self.message)
-        proc.simulator._schedule_step(proc, None)
+        # Sending never blocks: explicit zero-delay wakeup at the
+        # current clock.
+        proc.simulator._schedule_step(proc, None, delay=0.0)
 
 
 def receive(mailbox: "Mailbox") -> Receive:
@@ -80,9 +82,27 @@ class Mailbox:
         if self._waiters:
             proc = self._waiters.popleft()
             self.total_received += 1
-            self.simulator._schedule_step(proc, message)
+            self.simulator._schedule_step(proc, message, delay=0.0)
         else:
             self._messages.append(message)
+
+    def put_many(self, messages: Any) -> None:
+        """Deposit several messages with a single wakeup wave.
+
+        Equivalent to calling :meth:`put` per message (same waiter
+        order, same message matching), but the processes currently
+        blocked in receive are woken with one scheduler touch instead
+        of one push each.
+        """
+        msgs = list(messages)
+        waiters = self._waiters
+        ready = min(len(waiters), len(msgs))
+        self.total_sent += len(msgs)
+        if ready:
+            self.total_received += ready
+            pairs = [(waiters.popleft(), msgs[i]) for i in range(ready)]
+            self.simulator._schedule_step_pairs(pairs)
+        self._messages.extend(msgs[ready:])
 
     def peek_all(self) -> List[Any]:
         """Snapshot of queued messages (for diagnostics/tests)."""
@@ -91,7 +111,7 @@ class Mailbox:
     def _receive(self, proc: Process) -> None:
         if self._messages:
             self.total_received += 1
-            self.simulator._schedule_step(proc, self._messages.popleft())
+            self.simulator._schedule_step(proc, self._messages.popleft(), delay=0.0)
         else:
             self._waiters.append(proc)
             proc.waiting_on = self

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS
+from repro.core.options import RunOptions
 from repro.mesh.config import MeshConfig
 
 #: Default (laptop-scale) problem sizes per application, used when a
@@ -60,6 +61,14 @@ class CellSpec:
     characterized injection rate, ``messages_per_source`` messages per
     source, seeded from ``seed``.  ``protocol`` selects the coherence
     protocol for shared-memory apps (:data:`NO_PROTOCOL` otherwise).
+
+    ``options`` (a frozen, hashable
+    :class:`~repro.core.options.RunOptions`) configures the kernel for
+    both runs.  It is part of the cell's identity: a non-default
+    bundle enters ``canonical_json`` and therefore the cache key (so a
+    heap-scheduler replication never aliases a calendar one), while
+    the default ``None`` is omitted, keeping every pre-existing cache
+    key stable.
     """
 
     app: str
@@ -69,6 +78,7 @@ class CellSpec:
     rate_scale: float
     seed: int
     messages_per_source: int
+    options: Optional[RunOptions] = None
 
     @property
     def params_dict(self) -> Dict[str, object]:
@@ -78,7 +88,7 @@ class CellSpec:
         return MeshConfig.parse(self.mesh)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "app": self.app,
             "params": self.params_dict,
             "mesh": self.mesh,
@@ -87,9 +97,13 @@ class CellSpec:
             "seed": self.seed,
             "messages_per_source": self.messages_per_source,
         }
+        if self.options is not None:
+            doc["options"] = self.options.as_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, object]) -> "CellSpec":
+        options_doc = doc.get("options")
         return cls(
             app=str(doc["app"]),
             params=_freeze_params(doc.get("params", {})),  # type: ignore[arg-type]
@@ -98,6 +112,11 @@ class CellSpec:
             rate_scale=float(doc["rate_scale"]),  # type: ignore[arg-type]
             seed=int(doc["seed"]),  # type: ignore[arg-type]
             messages_per_source=int(doc["messages_per_source"]),  # type: ignore[arg-type]
+            options=(
+                RunOptions.from_dict(options_doc)  # type: ignore[arg-type]
+                if options_doc is not None
+                else None
+            ),
         )
 
     def canonical_json(self) -> str:
@@ -156,6 +175,10 @@ class GridSpec:
         Seed-axis values (one cell per seed: replications).
     messages_per_source:
         Messages each source injects in the synthetic drive.
+    options:
+        Kernel/run knobs applied to every cell (scheduler choice,
+        stall/leak checks); None leaves the cells on the defaults and
+        their cache keys unchanged.
     """
 
     apps: Tuple[str, ...]
@@ -165,6 +188,7 @@ class GridSpec:
     rate_scales: Tuple[float, ...]
     seeds: Tuple[int, ...]
     messages_per_source: int
+    options: Optional[RunOptions] = None
 
     def params_for(self, app: str) -> Dict[str, object]:
         for name, params in self.app_params:
@@ -191,12 +215,13 @@ class GridSpec:
                                     rate_scale=rate_scale,
                                     seed=seed,
                                     messages_per_source=self.messages_per_source,
+                                    options=self.options,
                                 )
                             )
         return cells
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "apps": list(self.apps),
             "app_params": {name: dict(params) for name, params in self.app_params},
             "meshes": list(self.meshes),
@@ -205,9 +230,13 @@ class GridSpec:
             "seeds": list(self.seeds),
             "messages_per_source": self.messages_per_source,
         }
+        if self.options is not None:
+            doc["options"] = self.options.as_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, object]) -> "GridSpec":
+        options_doc = doc.get("options")
         return make_grid(
             apps=doc.get("apps", ()),  # type: ignore[arg-type]
             app_params=doc.get("app_params"),  # type: ignore[arg-type]
@@ -216,6 +245,11 @@ class GridSpec:
             rate_scales=doc.get("rate_scales", (1.0,)),  # type: ignore[arg-type]
             seeds=doc.get("seeds", (0,)),  # type: ignore[arg-type]
             messages_per_source=int(doc.get("messages_per_source", 120)),  # type: ignore[arg-type]
+            options=(
+                RunOptions.from_dict(options_doc)  # type: ignore[arg-type]
+                if options_doc is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -232,6 +266,7 @@ def make_grid(
     rate_scales: Sequence[float] = (1.0,),
     seeds: Sequence[int] = (0,),
     messages_per_source: int = 120,
+    options: Optional[RunOptions] = None,
 ) -> GridSpec:
     """Validate axes and build a :class:`GridSpec`."""
     known_apps = SHARED_MEMORY_APPS + MESSAGE_PASSING_APPS
@@ -273,6 +308,8 @@ def make_grid(
     frozen_params = tuple(
         sorted((name, _freeze_params(p)) for name, p in params.items())
     )
+    if options is not None and not isinstance(options, RunOptions):
+        options = RunOptions.from_dict(options)  # type: ignore[arg-type]
     return GridSpec(
         apps=apps,
         app_params=frozen_params,
@@ -281,4 +318,5 @@ def make_grid(
         rate_scales=rate_scales,
         seeds=seeds,
         messages_per_source=messages_per_source,
+        options=options,
     )

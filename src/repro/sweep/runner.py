@@ -111,6 +111,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
     started = time.perf_counter()
     mesh = spec.mesh_config()
     app = create_app(spec.app, **spec.params_dict)
+    options = spec.options
     if spec.app in SHARED_MEMORY_APPS:
         coherence = (
             CoherenceConfig(protocol=spec.protocol)
@@ -118,10 +119,10 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
             else None
         )
         run = characterize_shared_memory(
-            app, mesh_config=mesh, coherence_config=coherence
+            app, mesh_config=mesh, coherence_config=coherence, options=options
         )
     else:
-        run = characterize_message_passing(app, mesh_config=mesh)
+        run = characterize_message_passing(app, mesh_config=mesh, options=options)
     cell_seed = int(spec.seed_sequence().generate_state(1)[0])
     measurement = measure_load_point(
         run.characterization,
@@ -129,6 +130,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
         rate_scale=spec.rate_scale,
         messages_per_source=spec.messages_per_source,
         seed=cell_seed,
+        options=options,
     )
     point = measurement.point
     stats = measurement.log.summary()
@@ -142,6 +144,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
         extra={
             "source": "sweep",
             "protocol": spec.protocol,
+            "options": options.as_dict() if options is not None else None,
             "rate_scale": spec.rate_scale,
             "seed": spec.seed,
             "cell_seed": cell_seed,

@@ -39,6 +39,34 @@ def test_negative_hold_rejected():
         hold(-1.0)
 
 
+def test_negative_schedule_delay_raises_valueerror_naming_delay():
+    from repro.simkernel import InvalidDelayError
+
+    sim = Simulator()
+    with pytest.raises(InvalidDelayError, match=r"-0\.25"):
+        sim.schedule(-0.25, lambda: None)
+    # InvalidDelayError is both a kernel error and an invalid argument.
+    with pytest.raises(ValueError, match=r"delay=-1\.5"):
+        sim.schedule(-1.5, lambda: None)
+    assert issubclass(InvalidDelayError, SimulationError)
+    assert issubclass(InvalidDelayError, ValueError)
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_negative_step_delay_rejected_inside_run(scheduler):
+    from repro.simkernel import InvalidDelayError
+
+    sim = Simulator(scheduler=scheduler)
+
+    def proc():
+        sim._schedule_step(sim.current_process, None, delay=-2.0)
+        yield hold(1.0)
+
+    sim.process(proc(), name="p")
+    with pytest.raises(InvalidDelayError, match=r"delay=-2\.0"):
+        sim.run()
+
+
 def test_simultaneous_events_fifo_order():
     sim = Simulator()
     order = []

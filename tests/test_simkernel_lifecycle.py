@@ -270,7 +270,7 @@ class TestShutdownRegrant:
         # Every process was still unwound and the queue cleared.
         assert bad_proc.state is ProcessState.FAILED
         assert good_proc.state is ProcessState.FAILED
-        assert len(sim._queue) == 0
+        assert sim.queue_depth == 0
         (failed, cause), = excinfo.value.errors
         assert failed is bad_proc and isinstance(cause, ValueError)
 
