@@ -117,13 +117,24 @@ def _kernel_options_from_args(
     """
     scheduler = getattr(args, "scheduler", None)
     max_no_progress = getattr(args, "max_no_progress", None)
-    if not (metrics or timeline or scheduler or max_no_progress):
+    sample_interval = getattr(args, "sample_interval", None)
+    heartbeat = getattr(args, "heartbeat", None)
+    if not (
+        metrics
+        or timeline
+        or scheduler
+        or max_no_progress
+        or sample_interval
+        or heartbeat
+    ):
         return None
     return RunOptions(
         metrics=metrics,
         timeline=timeline,
         scheduler=scheduler,
         max_no_progress_events=max_no_progress,
+        sample_interval=sample_interval,
+        heartbeat=heartbeat,
     )
 
 
@@ -154,6 +165,11 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     """Run one application through the methodology and report."""
     params = _parse_params(args.param)
     mesh = _parse_mesh(args.mesh)
+    if (args.live_series or args.openmetrics) and args.sample_interval is None:
+        # The exports need windows; fall back to the default cadence.
+        from repro.obs.live import DEFAULT_SAMPLE_INTERVAL
+
+        args.sample_interval = DEFAULT_SAMPLE_INTERVAL
     options = _kernel_options_from_args(
         args,
         metrics=bool(args.metrics or args.report),
@@ -191,6 +207,17 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         )
         report.write_json(args.report)
         print(f"run report written to {args.report}")
+    if args.live_series:
+        run.live.write_jsonl(args.live_series)
+        print(
+            f"live series written to {args.live_series} "
+            f"({len(run.live)} window(s))"
+        )
+    if args.openmetrics:
+        run.live.write_openmetrics(args.openmetrics)
+        print(f"OpenMetrics exposition written to {args.openmetrics}")
+    if args.heartbeat:
+        print(f"heartbeat stream at {args.heartbeat} (inspect with repro watch)")
     return 0
 
 
@@ -229,13 +256,13 @@ def _grid_from_args(args: argparse.Namespace):
             from dataclasses import replace
 
             base = grid.options or RunOptions()
-            grid = replace(
-                grid,
-                options=base.with_(
-                    scheduler=cli_options.scheduler,
-                    max_no_progress_events=cli_options.max_no_progress_events,
-                ),
-            )
+            overrides: Dict[str, object] = {
+                "scheduler": cli_options.scheduler,
+                "max_no_progress_events": cli_options.max_no_progress_events,
+            }
+            if cli_options.sample_interval is not None:
+                overrides["sample_interval"] = cli_options.sample_interval
+            grid = replace(grid, options=base.with_(**overrides))
         return grid
     if not args.app:
         raise ValueError("sweep needs --grid FILE or at least one --app")
@@ -278,12 +305,26 @@ def _sweep_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def _humanize_seconds(seconds: float) -> str:
+    """``95`` -> ``"1m35s"``; seconds under a minute keep one decimal."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
 def cmd_sweep_run(args: argparse.Namespace) -> int:
     """Run an experiment grid on a worker pool, cache-backed."""
     from repro.sweep import run_sweep
 
     grid = _grid_from_args(args)
     cache = _sweep_cache(args)
+    progress_started = time.perf_counter()
+    counts = {"cached": 0, "computed": 0, "failed": 0}
+    computed_walls: List[float] = []
 
     def progress(row: Dict[str, object], done: int, total: int) -> None:
         from repro.sweep import CellSpec
@@ -291,9 +332,28 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
         spec = CellSpec.from_dict(row["cell"])
         if row["status"] == "ok":
             tag = "cached" if row["cached"] else "ok"
+            counts["cached" if row["cached"] else "computed"] += 1
+            if not row["cached"]:
+                wall = (row.get("report") or {}).get("wall_seconds")
+                if isinstance(wall, (int, float)) and wall > 0:
+                    computed_walls.append(float(wall))
         else:
             tag = row["status"]
-        print(f"[{done}/{total}] {tag:>7} {spec.cell_id}", flush=True)
+            counts["failed"] += 1
+        elapsed = time.perf_counter() - progress_started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        note = f"{counts['cached']} cached, {counts['computed']} computed"
+        if counts["failed"]:
+            note += f", {counts['failed']} failed"
+        note += f"; {rate:.1f} cells/s"
+        # ETA from the mean wall time of *computed* cells (cached ones
+        # settle in microseconds and would wildly skew it), spread over
+        # the worker pool.
+        remaining = total - done
+        if remaining and computed_walls:
+            per_cell = sum(computed_walls) / len(computed_walls)
+            note += f", eta {_humanize_seconds(remaining * per_cell / max(args.jobs, 1))}"
+        print(f"[{done}/{total}] {tag:>7} {spec.cell_id} ({note})", flush=True)
 
     result = run_sweep(
         grid,
@@ -303,6 +363,7 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         cell_fn=None,
         on_progress=progress,
+        heartbeat_dir=args.heartbeat_dir,
     )
     print()
     print(result.describe(value=args.value))
@@ -337,7 +398,13 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     import json
 
     from repro.mesh.netlog import NetworkLog
-    from repro.obs.report import netlog_health, report_health, sweep_health
+    from repro.obs.heartbeat import read_heartbeats
+    from repro.obs.report import (
+        heartbeat_health,
+        netlog_health,
+        report_health,
+        sweep_health,
+    )
 
     path = args.path
     if path.endswith(".csv") or path.endswith(".csv.gz"):
@@ -346,6 +413,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     elif path.endswith(".npz"):
         lines, problems = netlog_health(NetworkLog.read_npz(path))
         kind = "activity log"
+    elif path.endswith(".jsonl"):
+        lines, problems = heartbeat_health(read_heartbeats(path))
+        kind = "heartbeat stream"
     else:
         with (open(path) if not path.endswith(".gz") else _gz_open(path)) as handle:
             doc = json.load(handle)
@@ -373,6 +443,49 @@ def _gz_open(path: str):
     import gzip
 
     return gzip.open(path, "rt")
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail heartbeat stream(s) and render the fleet table.
+
+    ``PATH`` is one run's ``.jsonl`` stream or a sweep's
+    ``--heartbeat-dir``.  ``--once`` renders the current state
+    deterministically and exits (0 healthy, 1 when any run failed);
+    without it the table refreshes every ``--interval`` seconds until
+    every run reaches a terminal status.
+    """
+    import os
+
+    from repro.obs.heartbeat import TERMINAL_STATUSES, heartbeat_rows, render_fleet
+
+    path = args.path
+    if not os.path.exists(path):
+        raise ValueError(f"{path}: no such heartbeat file or directory")
+
+    def healthy(rows) -> bool:
+        return all(str(r.get("status")) != "failed" for r in rows.values())
+
+    if args.once:
+        rows = heartbeat_rows(path)
+        if not rows:
+            raise ValueError(f"{path}: no heartbeat records yet")
+        print(render_fleet(rows))
+        return 0 if healthy(rows) else 1
+    rows = {}
+    try:
+        while True:
+            rows = heartbeat_rows(path)
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                print("\x1b[2J\x1b[H", end="")
+            print(render_fleet(rows, now=time.time()), flush=True)
+            if rows and all(
+                str(r.get("status")) in TERMINAL_STATUSES for r in rows.values()
+            ):
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    return 0 if healthy(rows) else 1
 
 
 def cmd_sp2_model(args: argparse.Namespace) -> int:
@@ -413,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="abort with a stall diagnosis after N events fire without "
                  "the clock advancing (default: watchdog off)",
         )
+        group.add_argument(
+            "--sample-interval", type=float, default=None, metavar="T",
+            help="sample live telemetry every T simulated time units "
+                 "(windowed series; default: sampling off)",
+        )
 
     characterize = sub.add_parser(
         "characterize", help="characterize one application's communication"
@@ -441,6 +559,21 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument(
         "--report", default=None,
         help="write the machine-readable run report JSON here",
+    )
+    characterize.add_argument(
+        "--heartbeat", default=None, metavar="PATH",
+        help="stream live progress records (JSONL) here; tail with "
+             "'repro watch PATH' while the run is going",
+    )
+    characterize.add_argument(
+        "--live-series", default=None, metavar="PATH",
+        help="write the windowed live-telemetry series here as JSONL "
+             "(implies --sample-interval at its default)",
+    )
+    characterize.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="write the final telemetry window here as Prometheus/"
+             "OpenMetrics text (implies --sample-interval at its default)",
     )
     add_instrumentation_arguments(characterize)
     characterize.set_defaults(handler=cmd_characterize)
@@ -544,6 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--value", default="mean_latency",
         help="run-report field for the comparison table (default mean_latency)",
     )
+    sweep_run.add_argument(
+        "--heartbeat-dir", default=None, metavar="DIR",
+        help="write one JSONL heartbeat stream per cell under DIR "
+             "(watch the fleet with 'repro watch DIR'); not part of "
+             "the cells' cache keys",
+    )
     sweep_run.set_defaults(handler=cmd_sweep_run)
 
     sweep_status_p = sweep_sub.add_parser(
@@ -561,6 +700,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-report field for the comparison table (default mean_latency)",
     )
     sweep_report.set_defaults(handler=cmd_sweep_report)
+
+    watch = sub.add_parser(
+        "watch", help="tail heartbeat stream(s) as a refreshing fleet table"
+    )
+    watch.add_argument(
+        "path",
+        help="one run's heartbeat .jsonl, or a sweep's --heartbeat-dir",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit (deterministic)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period for live tailing (default 2.0)",
+    )
+    watch.set_defaults(handler=cmd_watch)
 
     return parser
 

@@ -32,6 +32,7 @@ from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mp.sp2 import SP2Config
+from repro.obs.live import start_live_telemetry
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
 from repro.trace.log import TraceLog
@@ -59,6 +60,10 @@ class CharacterizationRun:
     timeline:
         The timeline recorder that observed the run, ready to
         ``write()`` (when ``options.timeline`` was on).
+    live:
+        The windowed live-telemetry series
+        (:class:`~repro.obs.live.LiveSeries`) sampled during the run
+        (when ``options.sample_interval``/``heartbeat`` was set).
     """
 
     characterization: CommunicationCharacterization
@@ -67,6 +72,7 @@ class CharacterizationRun:
     metrics: Optional[Dict[str, Dict[str, object]]] = None
     registry: Optional[MetricsRegistry] = None
     timeline: Optional[TimelineRecorder] = None
+    live: Optional[object] = None
 
 
 def characterize_log(
@@ -129,6 +135,7 @@ def characterize_shared_memory(
         metrics=registry.as_dict() if registry is not None and registry.enabled else None,
         registry=registry,
         timeline=recorder,
+        live=getattr(sim, "live_series", None),
     )
 
 
@@ -157,10 +164,23 @@ def characterize_message_passing(
     runtime = app.run(
         num_ranks=mesh_config.num_nodes, sp2=sp2, obs=registry, options=options
     )
-    network = MeshNetwork(
-        options.make_simulator(obs=registry), mesh_config, timeline=recorder
+    simulator = options.make_simulator(obs=registry)
+    network = MeshNetwork(simulator, mesh_config, timeline=recorder)
+    # Telemetry covers the mesh replay (the phase producing the activity
+    # log the methodology analyzes), not the SP2 front half.
+    live = start_live_telemetry(
+        options, simulator, network=network, registry=registry, label="replay"
     )
-    log = replay_trace(runtime.trace, network, mode=replay_mode, time_scale=time_scale)
+    try:
+        log = replay_trace(
+            runtime.trace, network, mode=replay_mode, time_scale=time_scale
+        )
+    except BaseException as exc:
+        if live is not None:
+            live.finish("failed", error=exc)
+        raise
+    if live is not None:
+        live.finish("done")
     characterization = characterize_log(
         log,
         mesh_config,
@@ -175,4 +195,5 @@ def characterize_message_passing(
         metrics=registry.as_dict() if registry is not None and registry.enabled else None,
         registry=registry,
         timeline=recorder,
+        live=live.series if live is not None else None,
     )

@@ -53,6 +53,17 @@ class RunOptions:
         Event-list implementation, ``"calendar"`` (fast path) or
         ``"heap"`` (legacy oracle); None defers to the
         ``REPRO_SCHEDULER`` environment variable, then ``"calendar"``.
+    sample_interval:
+        Live-telemetry sampling interval in simulated time units: the
+        run carries a :class:`~repro.obs.live.LiveSampler` producing
+        windowed series every interval (None = no sampler, the
+        default; unset fields are omitted from :meth:`as_dict`, so
+        pre-existing sweep cache keys stay stable).
+    heartbeat:
+        Path of an append-only JSONL heartbeat stream for the run
+        (None = none).  Implies sampling at
+        :data:`~repro.obs.live.DEFAULT_SAMPLE_INTERVAL` when
+        ``sample_interval`` is unset.
 
     Booleans rather than live registry/recorder objects keep the value
     hashable and JSON-round-trippable, which sweep cell specs need for
@@ -66,6 +77,8 @@ class RunOptions:
     check_stall: bool = True
     max_no_progress_events: Optional[int] = None
     scheduler: Optional[str] = None
+    sample_interval: Optional[float] = None
+    heartbeat: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scheduler is not None and self.scheduler not in SCHEDULERS:
@@ -78,6 +91,15 @@ class RunOptions:
                 f"max_no_progress_events must be >= 1 or None, "
                 f"got {self.max_no_progress_events}"
             )
+        if self.sample_interval is not None and not self.sample_interval > 0:
+            raise ValueError(
+                f"sample_interval must be > 0 or None, got {self.sample_interval}"
+            )
+
+    @property
+    def live_enabled(self) -> bool:
+        """True when this bundle requests live telemetry."""
+        return self.sample_interval is not None or self.heartbeat is not None
 
     # ------------------------------------------------------------------
     # instrument / kernel factories
@@ -114,8 +136,17 @@ class RunOptions:
     # ------------------------------------------------------------------
     # serialization (sweep cell specs content-address on this)
     # ------------------------------------------------------------------
+    #: Fields omitted from :meth:`as_dict` when unset: they were added
+    #: after sweep caches existed, and serializing their None defaults
+    #: would silently re-key (invalidate) every cached cell.
+    _OPTIONAL_FIELDS = ("sample_interval", "heartbeat")
+
     def as_dict(self) -> Dict[str, object]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if not (f.name in self._OPTIONAL_FIELDS and getattr(self, f.name) is None)
+        }
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, object]) -> "RunOptions":

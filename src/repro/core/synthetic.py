@@ -21,6 +21,7 @@ from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
+from repro.obs.live import start_live_telemetry
 from repro.simkernel import check_leaks, hold
 from repro.stats.spatial_models import SpatialPattern, UniformPattern
 
@@ -66,6 +67,9 @@ class SyntheticTrafficGenerator:
         self.seed = seed
         self.rate_scale = rate_scale
         self.options = options or RunOptions()
+        #: Windowed live-telemetry series of the most recent
+        #: :meth:`generate` (None unless the options request sampling).
+        self.live_series = None
         sizes = list(characterization.volume.length_fractions.items())
         self._length_values = np.array([s for s, _ in sizes], dtype=int)
         self._length_probs = np.array([p for _, p in sizes], dtype=float)
@@ -154,16 +158,25 @@ class SyntheticTrafficGenerator:
         # are released before the log is handed back.  (Unlike the
         # pipeline harnesses, a truncated synthetic drive still stall-
         # checks: open-loop sources never legitimately block forever.)
-        simulator.run(
-            until=until,
-            check_stall=options.check_stall,
-            max_no_progress_events=options.max_no_progress_events,
-        )
+        live = start_live_telemetry(options, simulator, network=network, label="drive")
+        try:
+            simulator.run(
+                until=until,
+                check_stall=options.check_stall,
+                max_no_progress_events=options.max_no_progress_events,
+            )
+        except BaseException as exc:
+            if live is not None:
+                live.finish("failed", error=exc)
+            raise
+        if live is not None:
+            live.finish("done")
         if until is not None:
             simulator.shutdown()
         if options.check_leaks:
             check_leaks(simulator)
         network.log.seal()
+        self.live_series = live.series if live is not None else None
         return network.log
 
 
@@ -221,6 +234,9 @@ class PhaseCoupledTrafficGenerator:
             )
         self.seed = seed
         self.rate_scale = rate_scale
+        #: Windowed live-telemetry series of the most recent
+        #: :meth:`generate` (None unless the options request sampling).
+        self.live_series = None
         sizes = list(characterization.volume.length_fractions.items())
         self._length_values = np.array([s for s, _ in sizes], dtype=int)
         self._length_probs = np.array([p for _, p in sizes], dtype=float)
@@ -268,11 +284,20 @@ class PhaseCoupledTrafficGenerator:
                 yield hold(lull / self.rate_scale)
 
         simulator.process(driver(), name="burst-driver")
-        simulator.run(
-            check_stall=options.check_stall,
-            max_no_progress_events=options.max_no_progress_events,
-        )
+        live = start_live_telemetry(options, simulator, network=network, label="drive")
+        try:
+            simulator.run(
+                check_stall=options.check_stall,
+                max_no_progress_events=options.max_no_progress_events,
+            )
+        except BaseException as exc:
+            if live is not None:
+                live.finish("failed", error=exc)
+            raise
+        if live is not None:
+            live.finish("done")
         if options.check_leaks:
             check_leaks(simulator)
         network.log.seal()
+        self.live_series = live.series if live is not None else None
         return network.log

@@ -17,6 +17,7 @@ from repro.exec_driven.thread_api import SharedArray, ThreadContext
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import NetworkLog
 from repro.mesh.network import MeshNetwork
+from repro.obs.live import start_live_telemetry
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
 from repro.simkernel import DeadlockError, Simulator, check_leaks
@@ -86,6 +87,20 @@ class ExecutionDrivenSimulation:
         ]
         self._arrays: Dict[str, SharedArray] = {}
         self.finished = False
+        # Live telemetry wires up front (probes must see the run from
+        # t=0); None unless the options request sampling/heartbeats.
+        self.live = start_live_telemetry(
+            options,
+            self.simulator,
+            network=self.network,
+            registry=obs,
+            label="characterize",
+        )
+
+    @property
+    def live_series(self):
+        """Windowed live-telemetry series (None when telemetry is off)."""
+        return self.live.series if self.live is not None else None
 
     @property
     def num_processors(self) -> int:
@@ -162,11 +177,19 @@ class ExecutionDrivenSimulation:
             )
         except DeadlockError as error:
             self.finished = True
+            if self.live is not None:
+                self.live.finish("failed", error=error)
             stuck = [t.name for t in threads if not t.finished]
             raise RuntimeError(
                 f"threads never finished (deadlock or lost wakeup): {stuck}\n{error}"
             ) from error
+        except BaseException as error:
+            if self.live is not None:
+                self.live.finish("failed", error=error)
+            raise
         self.finished = True
+        if self.live is not None:
+            self.live.finish("done")
         self.network.finalize_metrics()
         self.machine.finalize_metrics()
         stuck = [t.name for t in threads if not t.finished]

@@ -10,7 +10,12 @@ Three pieces:
   per-node message activity and per-channel occupancy as timeline spans
   viewable in Perfetto / ``chrome://tracing``;
 * :mod:`repro.obs.report` -- the machine-readable run report shared by
-  the CLI and the benchmark suite (the perf trajectory format).
+  the CLI and the benchmark suite (the perf trajectory format);
+* :mod:`repro.obs.live` -- the live-telemetry layer: a periodic
+  in-kernel sampler producing windowed struct-of-arrays series
+  (JSONL / OpenMetrics exports) plus online health verdicts;
+* :mod:`repro.obs.heartbeat` -- append-only JSONL heartbeat streams
+  crossing process boundaries, the channel ``repro watch`` tails.
 
 Enabling it end to end::
 
@@ -25,6 +30,26 @@ Enabling it end to end::
     timeline.write("timeline.json")   # load in https://ui.perfetto.dev
 """
 
+from repro.obs.fsio import atomic_write_text
+from repro.obs.heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatWriter,
+    heartbeat_rows,
+    last_heartbeat,
+    read_heartbeats,
+    render_fleet,
+    safe_label,
+    scan_heartbeat_dir,
+)
+from repro.obs.live import (
+    DEFAULT_SAMPLE_INTERVAL,
+    LiveSampler,
+    LiveSeries,
+    LiveTelemetry,
+    series_health,
+    start_live_telemetry,
+    window_health,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -52,8 +77,14 @@ from repro.obs.timeline import (
 __all__ = [
     "CHANNELS_PID",
     "Counter",
+    "DEFAULT_SAMPLE_INTERVAL",
     "Gauge",
+    "HEARTBEAT_SCHEMA_VERSION",
+    "HeartbeatWriter",
     "Histogram",
+    "LiveSampler",
+    "LiveSeries",
+    "LiveTelemetry",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TIMELINE",
@@ -62,9 +93,19 @@ __all__ = [
     "RunReport",
     "TimeSeries",
     "TimelineRecorder",
+    "atomic_write_text",
+    "heartbeat_rows",
+    "last_heartbeat",
     "load_metrics",
+    "read_heartbeats",
     "read_trajectory",
+    "render_fleet",
     "report_from_log",
     "report_from_run",
+    "safe_label",
+    "scan_heartbeat_dir",
+    "series_health",
+    "start_live_telemetry",
     "summarize_metrics",
+    "window_health",
 ]

@@ -1,0 +1,35 @@
+"""Crash-safe file writes for observability artifacts.
+
+Every artifact a live consumer may read while the producer is still
+running (metrics JSON, timelines, live-series exports) is written
+atomically: the content lands in a temporary file in the *same
+directory* as the target, then replaces it with :func:`os.replace`.
+A reader therefore only ever sees the previous complete version or the
+new complete version -- never a truncated half-write from a run killed
+mid-dump (``StallError``, SIGALRM cell timeouts, plain crashes).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file
+    plus ``os.replace``, which is atomic on POSIX and Windows)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

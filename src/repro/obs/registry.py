@@ -19,6 +19,8 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.fsio import atomic_write_text
+
 
 class Counter:
     """A monotonically increasing count (messages injected, misses, ...)."""
@@ -128,10 +130,15 @@ class TimeSeries:
     To bound memory on long runs the series decimates itself once
     ``max_samples`` is exceeded: every second sample is dropped and the
     effective sampling stride doubles, so the series always spans the
-    whole run at progressively coarser resolution.
+    whole run at progressively coarser resolution.  The most recent
+    offered sample is always retained: decimation re-pins the newest
+    (time, value) pair even when its index would be dropped, and
+    :meth:`latest` reports the last *offer* even while stride-skipping
+    -- live views must never show stale values.
     """
 
-    __slots__ = ("name", "times", "values", "max_samples", "_stride", "_skip")
+    __slots__ = ("name", "times", "values", "max_samples", "_stride", "_skip",
+                 "_latest")
 
     def __init__(self, name: str, max_samples: int = 4096) -> None:
         if max_samples < 2:
@@ -142,9 +149,11 @@ class TimeSeries:
         self.max_samples = max_samples
         self._stride = 1  # keep every _stride'th offered sample
         self._skip = 0
+        self._latest: Optional[Tuple[float, float]] = None
 
     def sample(self, time: float, value: float) -> None:
         """Offer one (simulated time, value) sample."""
+        self._latest = (time, value)
         if self._skip:
             self._skip -= 1
             return
@@ -152,9 +161,24 @@ class TimeSeries:
         self.times.append(time)
         self.values.append(value)
         if len(self.times) >= self.max_samples:
+            # [::2] keeps even indices only; re-pin the newest sample
+            # when its (odd) index would drop it.
+            newest_dropped = (len(self.times) - 1) % 2 == 1
+            newest = (self.times[-1], self.values[-1])
             self.times = self.times[::2]
             self.values = self.values[::2]
+            if newest_dropped:
+                self.times.append(newest[0])
+                self.values.append(newest[1])
             self._stride *= 2
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """The most recently offered (time, value) pair, or None.
+
+        Unlike ``(times[-1], values[-1])`` this survives both stride
+        skipping and decimation, so it is always the freshest reading.
+        """
+        return self._latest
 
     def __len__(self) -> int:
         return len(self.times)
@@ -249,12 +273,16 @@ class MetricsRegistry:
         return out
 
     def write_json(self, path: str, extra: Optional[Dict[str, object]] = None) -> None:
-        """Write ``{"metrics": {...}, **extra}`` to ``path``."""
+        """Atomically write ``{"metrics": {...}, **extra}`` to ``path``.
+
+        Atomic (same-directory temp file + ``os.replace``) so a crash
+        or ``StallError`` mid-dump cannot leave truncated JSON for
+        ``doctor``/``watch`` to choke on.
+        """
         payload: Dict[str, object] = {"metrics": self.as_dict()}
         if extra:
             payload.update(extra)
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
+        atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
 
 
 class _NullCounter(Counter):

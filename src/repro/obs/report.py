@@ -211,6 +211,61 @@ def report_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
     return lines, problems
 
 
+def heartbeat_health(records: List[Dict[str, object]]) -> Tuple[List[str], int]:
+    """Health lines + problem count for one heartbeat stream.
+
+    The post-hoc reading of the live channel: summarizes the stream's
+    progress, surfaces every unhealthy sampling window (the online
+    verdicts :func:`repro.obs.live.window_health` attached while the
+    run was going), and treats a non-terminal or failed final record as
+    a problem — a stream that just stops is exactly the black-box
+    outcome heartbeats exist to prevent.  Flagged windows in a run that
+    finished ``done`` are reported but not counted as problems: bursty
+    phases (a barrier storm pinning channels for one window) are normal,
+    and the run demonstrably recovered.  The same flags in a failed or
+    truncated stream corroborate the failure and do count.
+    """
+    lines: List[str] = []
+    problems = 0
+    if not records:
+        return ["empty heartbeat stream: no records written"], 1
+    last = records[-1]
+    status = str(last.get("status", "?"))
+    label = last.get("label", records[0].get("label", "run"))
+    lines.append(
+        f"{label}: {len(records)} record(s), final status {status}, "
+        f"sim-t {last.get('sim_time', '?')}, events {last.get('events', '?')}"
+    )
+    finished_clean = status in ("done", "cached")
+    unhealthy: Dict[str, int] = {}
+    for record in records:
+        health = record.get("health")
+        if isinstance(health, str) and health not in ("ok", "idle"):
+            unhealthy[health] = unhealthy.get(health, 0) + 1
+    for verdict in sorted(unhealthy):
+        if finished_clean:
+            lines.append(
+                f"note: {unhealthy[verdict]} window(s) flagged {verdict} "
+                "while the run was live (run finished cleanly)"
+            )
+        else:
+            problems += 1
+            lines.append(
+                f"WARNING: {unhealthy[verdict]} window(s) flagged {verdict} "
+                "while the run was live"
+            )
+    if status == "failed":
+        problems += 1
+        lines.append(f"WARNING: run failed: {last.get('error', '?')}")
+    elif status == "running":
+        problems += 1
+        lines.append(
+            "WARNING: stream ends mid-run (no terminal record) — "
+            "producer still alive, or killed without finishing"
+        )
+    return lines, problems
+
+
 def sweep_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
     """Health lines + problem count for a sweep-report dict.
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.fsio import atomic_write_text
+
 
 class TimelineRecorder:
     """Accumulates Chrome trace events during a simulation run."""
@@ -126,9 +128,10 @@ class TimelineRecorder:
         }
 
     def write(self, path: str) -> None:
-        """Write the trace JSON to ``path``."""
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle)
+        """Atomically write the trace JSON to ``path`` (same-directory
+        temp file + ``os.replace``, so viewers never see a truncated
+        trace from a run killed mid-dump)."""
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
 
 class NullTimeline(TimelineRecorder):

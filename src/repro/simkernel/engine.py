@@ -283,6 +283,13 @@ def steady_clock(simulator: "Simulator", until: Optional[float] = None) -> float
                 rec.callback = None
                 if len(pool) < pool_limit:
                     pool.append(rec)
+                # Flush the local event tally before entering foreign
+                # code: callbacks (the live sampler's tick) read
+                # ``events_fired`` and must see an accurate count.
+                # Callbacks are rare (one per sampling window), so the
+                # hot process path keeps its local counter.
+                simulator.events_fired += fired
+                fired = 0
                 callback()
             else:
                 value = rec.value
@@ -661,38 +668,38 @@ class Simulator:
         queue = self._sched._queue
         observed = self._observed
         no_progress = 0
-        fired = 0
-        try:
-            while queue and not self._stopped:
-                when, _, callback = queue[0]
-                if until is not None and when > until:
-                    self._now = max(self._now, until)
-                    break
-                heappop(queue)
-                if max_no_progress_events is not None:
-                    no_progress = 0 if when > self._now else no_progress + 1
-                self._now = when
-                callback()
-                fired += 1
-                if observed:
-                    self._m_events.inc()
-                    self._events_since_sample += 1
-                    if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
-                        self._events_since_sample = 0
-                        self._m_queue_depth.sample(self._now, len(queue))
-                        self._m_active.sample(self._now, self.active_process_count)
-                if (
-                    max_no_progress_events is not None
-                    and no_progress >= max_no_progress_events
-                ):
-                    from repro.simkernel.diagnosis import StallError, diagnose_stall
+        while queue and not self._stopped:
+            when, _, callback = queue[0]
+            if until is not None and when > until:
+                self._now = max(self._now, until)
+                break
+            heappop(queue)
+            if max_no_progress_events is not None:
+                no_progress = 0 if when > self._now else no_progress + 1
+            self._now = when
+            # Counted per event (not batched in a local) so that
+            # in-kernel callbacks -- the live sampler's tick -- read
+            # an accurate ``events_fired``, matching what the
+            # calendar fast path's flush-before-callback exposes.
+            callback()
+            self.events_fired += 1
+            if observed:
+                self._m_events.inc()
+                self._events_since_sample += 1
+                if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
+                    self._events_since_sample = 0
+                    self._m_queue_depth.sample(self._now, len(queue))
+                    self._m_active.sample(self._now, self.active_process_count)
+            if (
+                max_no_progress_events is not None
+                and no_progress >= max_no_progress_events
+            ):
+                from repro.simkernel.diagnosis import StallError, diagnose_stall
 
-                    raise StallError(
-                        f"no simulated-time progress after {no_progress} events "
-                        f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
-                    )
-        finally:
-            self.events_fired += fired
+                raise StallError(
+                    f"no simulated-time progress after {no_progress} events "
+                    f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
+                )
 
     def _watchdog_clock(self, until: Optional[float], limit: int) -> None:
         """Event loop with the livelock watchdog armed (either scheduler)."""
@@ -702,43 +709,41 @@ class Simulator:
         sched = self._sched
         observed = self._observed
         no_progress = 0
-        fired = 0
-        try:
-            while not self._stopped:
-                when = sched.peek_time()
-                if when is None:
-                    break
-                if until is not None and when > until:
-                    self._now = max(self._now, until)
-                    break
-                no_progress = 0 if when > self._now else no_progress + 1
-                self._now = when
-                rec = sched.pop()
-                proc = rec.proc
-                value = rec.value
-                callback = rec.callback
-                sched.recycle(rec)
-                if proc is None:
-                    callback()
-                else:
-                    self._step(proc, value)
-                fired += 1
-                if observed:
-                    self._m_events.inc()
-                    self._events_since_sample += 1
-                    if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
-                        self._events_since_sample = 0
-                        self._m_queue_depth.sample(self._now, len(sched))
-                        self._m_active.sample(self._now, self.active_process_count)
-                if no_progress >= limit:
-                    from repro.simkernel.diagnosis import StallError, diagnose_stall
+        while not self._stopped:
+            when = sched.peek_time()
+            if when is None:
+                break
+            if until is not None and when > until:
+                self._now = max(self._now, until)
+                break
+            no_progress = 0 if when > self._now else no_progress + 1
+            self._now = when
+            rec = sched.pop()
+            proc = rec.proc
+            value = rec.value
+            callback = rec.callback
+            sched.recycle(rec)
+            # As in the heap loop: count per event so in-kernel
+            # callbacks (the live sampler) see an accurate tally.
+            if proc is None:
+                callback()
+            else:
+                self._step(proc, value)
+            self.events_fired += 1
+            if observed:
+                self._m_events.inc()
+                self._events_since_sample += 1
+                if self._events_since_sample >= self.QUEUE_SAMPLE_INTERVAL:
+                    self._events_since_sample = 0
+                    self._m_queue_depth.sample(self._now, len(sched))
+                    self._m_active.sample(self._now, self.active_process_count)
+            if no_progress >= limit:
+                from repro.simkernel.diagnosis import StallError, diagnose_stall
 
-                    raise StallError(
-                        f"no simulated-time progress after {no_progress} events "
-                        f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
-                    )
-        finally:
-            self.events_fired += fired
+                raise StallError(
+                    f"no simulated-time progress after {no_progress} events "
+                    f"at t={self._now:g}\n{diagnose_stall(self).describe()}"
+                )
 
     # ------------------------------------------------------------------
     # lifecycle audits and teardown

@@ -24,6 +24,7 @@ cell regardless of worker scheduling.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -36,6 +37,8 @@ from repro.core.methodology import (
     characterize_message_passing,
     characterize_shared_memory,
 )
+from repro.core.options import RunOptions
+from repro.obs.heartbeat import HEARTBEAT_SUFFIX, safe_label, write_status_record
 from repro.obs.report import report_from_log
 from repro.sweep.aggregate import SweepResult
 from repro.sweep.cache import ResultCache
@@ -43,6 +46,8 @@ from repro.sweep.grid import NO_PROTOCOL, CellSpec, GridSpec
 
 #: A cell function maps a cell-spec dict to a run-report dict.  The
 #: default is :func:`execute_cell`; tests inject failing/hanging ones.
+#: When the sweep runs with ``heartbeat_dir``, the function is called
+#: with an extra ``heartbeat=<path>`` keyword (the per-cell stream).
 CellFunction = Callable[[Dict[str, object]], Dict[str, object]]
 
 #: Extra supervisor-side wait beyond ``2 * timeout`` before a cell is
@@ -79,25 +84,41 @@ def _raise_timeout(signum, frame):  # pragma: no cover - signal context
     raise CellTimeoutError()
 
 
-def _invoke(fn: CellFunction, spec_doc: Dict[str, object], timeout: Optional[float]):
+def _invoke(
+    fn: CellFunction,
+    spec_doc: Dict[str, object],
+    timeout: Optional[float],
+    heartbeat: Optional[str] = None,
+):
     """Run ``fn`` under an interval-timer timeout (worker entry point).
 
     Module-level so it pickles into pool workers.  Falls back to no
     in-worker enforcement on platforms without ``SIGALRM`` (the
-    supervisor deadline still applies).
+    supervisor deadline still applies).  ``heartbeat`` (a per-cell
+    stream path, *not* part of the cell's cache identity) is forwarded
+    as a keyword only when set, so plain single-argument cell functions
+    keep working on heartbeat-less sweeps.
     """
-    if not timeout or not hasattr(signal, "SIGALRM"):
+
+    def call():
+        if heartbeat is not None:
+            return fn(spec_doc, heartbeat=heartbeat)
         return fn(spec_doc)
+
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return call()
     previous = signal.signal(signal.SIGALRM, _raise_timeout)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return fn(spec_doc)
+        return call()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
-def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
+def execute_cell(
+    spec_doc: Dict[str, object], heartbeat: Optional[str] = None
+) -> Dict[str, object]:
     """Execute one grid cell end to end; returns a run-report dict.
 
     Characterizes the cell's application on its mesh (with the cell's
@@ -106,12 +127,22 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
     the synthetic run in the versioned run-report schema
     (:mod:`repro.obs.report`), with the load-point measurements in
     ``extra``.
+
+    ``heartbeat`` overlays a per-cell heartbeat stream path onto the
+    cell's options for this execution only — the supervisor's
+    ``--heartbeat-dir`` plumbing.  It deliberately stays out of the
+    report's recorded ``options`` (and out of the cache key): where a
+    sweep's progress was watched must not re-key its results.
     """
     spec = CellSpec.from_dict(spec_doc)
     started = time.perf_counter()
     mesh = spec.mesh_config()
     app = create_app(spec.app, **spec.params_dict)
     options = spec.options
+    if heartbeat is not None:
+        run_options = (options or RunOptions()).with_(heartbeat=heartbeat)
+    else:
+        run_options = options
     if spec.app in SHARED_MEMORY_APPS:
         coherence = (
             CoherenceConfig(protocol=spec.protocol)
@@ -119,10 +150,10 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
             else None
         )
         run = characterize_shared_memory(
-            app, mesh_config=mesh, coherence_config=coherence, options=options
+            app, mesh_config=mesh, coherence_config=coherence, options=run_options
         )
     else:
-        run = characterize_message_passing(app, mesh_config=mesh, options=options)
+        run = characterize_message_passing(app, mesh_config=mesh, options=run_options)
     cell_seed = int(spec.seed_sequence().generate_state(1)[0])
     measurement = measure_load_point(
         run.characterization,
@@ -130,7 +161,7 @@ def execute_cell(spec_doc: Dict[str, object]) -> Dict[str, object]:
         rate_scale=spec.rate_scale,
         messages_per_source=spec.messages_per_source,
         seed=cell_seed,
-        options=options,
+        options=run_options,
     )
     point = measurement.point
     stats = measurement.log.summary()
@@ -204,6 +235,7 @@ def run_sweep(
     backoff: float = 0.25,
     cell_fn: Optional[CellFunction] = None,
     on_progress: Optional[Callable[[Dict[str, object], int, int], None]] = None,
+    heartbeat_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute every cell of ``grid``; never raises for cell failures.
 
@@ -224,9 +256,19 @@ def run_sweep(
         Base delay before retry ``k`` (grows as ``backoff * 2**(k-1)``).
     cell_fn:
         Replacement cell function (fault injection in tests); must be
-        picklable when ``jobs > 1``.
+        picklable when ``jobs > 1`` and accept a ``heartbeat=`` keyword
+        when ``heartbeat_dir`` is used.
     on_progress:
         Called as ``on_progress(row, done, total)`` when a cell settles.
+    heartbeat_dir:
+        Directory receiving one JSONL heartbeat stream per cell (for
+        ``repro watch``).  Purely observational: it crosses the worker
+        boundary as an out-of-band keyword and never enters a cell's
+        cache key, so watched and unwatched sweeps share results.
+        Cells that never run a kernel here still get a record — fresh
+        ``pending`` streams up front, ``cached`` on cache hits, and an
+        appended ``failed`` record when retries are exhausted — so the
+        fleet table always shows the whole grid.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -234,6 +276,7 @@ def run_sweep(
         raise ValueError(f"retries must be >= 0, got {retries}")
     fn = cell_fn or execute_cell
     cells = grid.expand()
+    heartbeats = _heartbeat_paths(cells, heartbeat_dir)
     rows: List[Optional[Dict[str, object]]] = [None] * len(cells)
     pending: List[Tuple[int, CellSpec, Optional[str]]] = []
     started = time.perf_counter()
@@ -251,8 +294,12 @@ def run_sweep(
         if cache is not None:
             doc = cache.get(key)
             if doc is not None:
+                if heartbeats is not None:
+                    write_status_record(heartbeats[index], spec.cell_id, "cached")
                 settle(index, _ok_row(spec, key, doc, cached=True, attempts=0))
                 continue
+        if heartbeats is not None:
+            write_status_record(heartbeats[index], spec.cell_id, "pending")
         pending.append((index, spec, key))
 
     def record_success(index, spec, key, report, attempts):
@@ -260,13 +307,29 @@ def run_sweep(
             cache.put(key, report)
         settle(index, _ok_row(spec, key, report, cached=False, attempts=attempts))
 
+    def record_failure(index, spec, key, status, message, attempts, failure_log=None):
+        if heartbeats is not None:
+            # The worker may have died without a terminal record (or
+            # never started); append so its partial stream survives.
+            write_status_record(
+                heartbeats[index], spec.cell_id, "failed", error=message, append=True
+            )
+        settle(
+            index, _failure_row(spec, key, status, message, attempts, failure_log)
+        )
+
+    def heartbeat_for(index: int) -> Optional[str]:
+        return heartbeats[index] if heartbeats is not None else None
+
     if jobs == 1 or len(pending) <= 1:
         for index, spec, key in pending:
             attempt = 0
             while True:
                 attempt += 1
                 try:
-                    report = _invoke(fn, spec.as_dict(), timeout)
+                    report = _invoke(
+                        fn, spec.as_dict(), timeout, heartbeat=heartbeat_for(index)
+                    )
                 except CellTimeoutError:
                     status, message = "timeout", f"cell exceeded {timeout:g}s"
                     failure_log: List[str] = []
@@ -276,11 +339,8 @@ def run_sweep(
                     record_success(index, spec, key, report, attempt)
                     break
                 if attempt > retries:
-                    settle(
-                        index,
-                        _failure_row(
-                            spec, key, status, message, attempt, failure_log
-                        ),
+                    record_failure(
+                        index, spec, key, status, message, attempt, failure_log
                     )
                     break
                 time.sleep(backoff * 2 ** (attempt - 1))
@@ -293,10 +353,8 @@ def run_sweep(
             retries,
             backoff,
             record_success,
-            lambda index, spec, key, status, message, attempts, failure_log=None: settle(
-                index,
-                _failure_row(spec, key, status, message, attempts, failure_log),
-            ),
+            record_failure,
+            heartbeat_for,
         )
 
     return SweepResult(
@@ -311,8 +369,28 @@ def run_sweep(
     )
 
 
+def _heartbeat_paths(
+    cells: List[CellSpec], heartbeat_dir: Optional[str]
+) -> Optional[List[str]]:
+    """One stream path per cell (collision-numbered sanitized labels)."""
+    if heartbeat_dir is None:
+        return None
+    os.makedirs(heartbeat_dir, exist_ok=True)
+    paths: List[str] = []
+    used: Dict[str, int] = {}
+    for spec in cells:
+        stem = safe_label(spec.cell_id)
+        count = used.get(stem, 0)
+        used[stem] = count + 1
+        if count:
+            stem = f"{stem}.{count}"
+        paths.append(os.path.join(heartbeat_dir, stem + HEARTBEAT_SUFFIX))
+    return paths
+
+
 def _run_pool(
-    pending, fn, jobs, timeout, retries, backoff, record_success, record_failure
+    pending, fn, jobs, timeout, retries, backoff, record_success, record_failure,
+    heartbeat_for=lambda index: None,
 ) -> None:
     """Pool execution with supervisor-side retry queue and deadlines."""
     deadline_budget = (2.0 * timeout + _DEADLINE_GRACE) if timeout else None
@@ -322,7 +400,9 @@ def _run_pool(
     abandoned = False
 
     def submit(index, spec, key, attempt):
-        future = executor.submit(_invoke, fn, spec.as_dict(), timeout)
+        future = executor.submit(
+            _invoke, fn, spec.as_dict(), timeout, heartbeat_for(index)
+        )
         deadline = (
             time.monotonic() + deadline_budget if deadline_budget is not None else None
         )

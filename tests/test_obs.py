@@ -111,6 +111,33 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             TimeSeries("x", max_samples=1)
 
+    def test_latest_accessor(self):
+        s = TimeSeries("q")
+        assert s.latest() is None
+        s.sample(1.0, 5.0)
+        s.sample(2.0, 7.0)
+        assert s.latest() == (2.0, 7.0)
+
+    def test_decimation_pins_newest_sample(self):
+        # [::2] keeps even indices; the newest sample must survive a
+        # decimation pass even when it sits at an odd index.
+        s = TimeSeries("q", max_samples=16)
+        for i in range(16):  # triggers decimation on the 16th sample
+            s.sample(float(i), float(i) * 10.0)
+        assert s.times[-1] == 15.0
+        assert s.values[-1] == 150.0
+        assert s.latest() == (15.0, 150.0)
+        assert s.times == sorted(s.times)
+
+    def test_latest_survives_heavy_decimation(self):
+        # Stored columns skip samples by stride, so times[-1] may lag;
+        # latest() must still be the freshest offered pair.
+        s = TimeSeries("q", max_samples=8)
+        for i in range(1_000):
+            s.sample(float(i), float(i))
+        assert s.latest() == (999.0, 999.0)
+        assert s.times[-1] <= 999.0
+
 
 class TestNullRegistryContract:
     def test_disabled_flag(self):
@@ -162,6 +189,23 @@ class TestRegistryExport:
         with open(path) as handle:
             assert json.load(handle)["app"] == "demo"
 
+    def test_write_json_is_atomic(self, tmp_path):
+        import os
+
+        from repro.obs.fsio import atomic_write_text
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = str(tmp_path / "m.json")
+        reg.write_json(path)
+        reg.write_json(path)  # overwrite goes through rename, not truncate
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        load_metrics(path)
+        # The helper also creates missing parent directories.
+        nested = str(tmp_path / "sub" / "x.txt")
+        atomic_write_text(nested, "payload")
+        assert open(nested).read() == "payload"
+
     def test_load_metrics_rejects_non_metrics_json(self, tmp_path):
         path = str(tmp_path / "bad.json")
         with open(path, "w") as handle:
@@ -208,6 +252,20 @@ class TestTimelineRecorder:
             doc = json.load(handle)
         assert isinstance(doc["traceEvents"], list)
         assert doc["otherData"]["dropped_events"] == 0
+
+    def test_write_is_atomic(self, tmp_path):
+        # Overwriting an existing export must go through a same-dir
+        # temp file + rename, never leaving a partial file behind.
+        import os
+
+        tl = TimelineRecorder()
+        tl.complete("a", "b", 0.0, 1.0, pid=1, tid=0)
+        path = str(tmp_path / "t.json")
+        tl.write(path)
+        tl.write(path)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        with open(path) as handle:
+            json.load(handle)
 
     def test_max_events_drops_excess(self):
         tl = TimelineRecorder(max_events=2)
