@@ -1,0 +1,220 @@
+"""Benchmark: serve's cached-result path under concurrent load.
+
+The promise of ``repro serve`` is that the expensive verb (submitting
+work) is decoupled from the cheap verbs (status polls and cached-result
+fetches): simulation happens on worker threads and a process pool,
+while the asyncio loop answers reads from memory and small files.  This
+benchmark holds the service to that promise **while a job is actually
+computing**:
+
+1. start a :class:`~repro.serve.BackgroundService` with an injected
+   cell function that sleeps (a deliberately slow in-flight grid job),
+2. pre-publish one artifact into the result cache,
+3. hammer ``GET /v1/results/{digest}`` and ``GET /v1/jobs/{id}`` from
+   ``--clients`` threads over keep-alive connections for
+   ``--seconds``,
+4. gate: cached-result throughput at least ``--min-rps`` and p99
+   status-poll latency at most ``--max-p99`` seconds.
+
+Standalone (not a pytest benchmark) so CI can gate on the result:
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --check
+
+``--check`` exits non-zero when either gate fails, when any request
+errors, or when the in-flight job finished before the measurement
+window ended (meaning the reads were never contended).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+
+from repro.serve import BackgroundService, JobManager, ServiceConfig
+from repro.sweep.cache import ResultCache
+
+GRID = {
+    "apps": ["1d-fft"],
+    "app_params": {"1d-fft": {"n": 32}},
+    "meshes": ["2x2"],
+    "rate_scales": [1.0, 2.0, 3.0, 4.0],
+    "messages_per_source": 10,
+}
+
+
+def make_slow_cell(delay):
+    def slow_cell(spec_doc, heartbeat=None):
+        time.sleep(delay)
+        return {
+            "schema": 1,
+            "app": spec_doc["app"],
+            "mesh": spec_doc["mesh"],
+            "messages": 1,
+            "mean_latency": 1.0,
+        }
+
+    return slow_cell
+
+
+class LoadClient(threading.Thread):
+    """One keep-alive connection alternating result and status reads."""
+
+    def __init__(self, host, port, paths, stop, ready):
+        super().__init__(daemon=True)
+        self.host = host
+        self.port = port
+        self.paths = paths
+        self.stop = stop
+        self.ready = ready
+        #: (path index -> list of latencies), errors
+        self.latencies = [[] for _ in paths]
+        self.errors = 0
+
+    def run(self):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=10)
+        self.ready.wait()
+        turn = 0
+        while not self.stop.is_set():
+            path = self.paths[turn % len(self.paths)]
+            started = time.perf_counter()
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = response.read()
+                if response.status != 200 or not body:
+                    self.errors += 1
+                else:
+                    self.latencies[turn % len(self.paths)].append(
+                        time.perf_counter() - started
+                    )
+            except Exception:
+                self.errors += 1
+                conn.close()
+                conn = http.client.HTTPConnection(self.host, self.port, timeout=10)
+            turn += 1
+        conn.close()
+
+
+def percentile(values, fraction):
+    if not values:
+        return float("inf")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_benchmark(args):
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        cache = ResultCache(root + "/cache")
+        manager = JobManager(
+            root + "/state",
+            cache,
+            cell_fn=make_slow_cell(args.cell_delay),
+        )
+        config = ServiceConfig(
+            port=0,
+            state_dir=root + "/state",
+            cache_dir=root + "/cache",
+            rate=0.0,  # the benchmark is exactly the burst a limiter stops
+        )
+        with BackgroundService(config, manager=manager) as service:
+            # A cached artifact to serve (the steady-state read path).
+            digest = cache.key_for_doc({"bench": "artifact"})
+            cache.put(digest, {"schema": 1, "app": "bench", "messages": 1})
+
+            # The in-flight computation the reads must not queue behind.
+            job, _ = manager.submit_grid(GRID)
+            job_id = job["id"]
+
+            host, port = config.host, service.port
+            paths = [f"/v1/results/{digest}", f"/v1/jobs/{job_id}"]
+            stop = threading.Event()
+            ready = threading.Event()
+            clients = [
+                LoadClient(host, port, paths, stop, ready)
+                for _ in range(args.clients)
+            ]
+            for client in clients:
+                client.start()
+            started = time.perf_counter()
+            ready.set()
+            time.sleep(args.seconds)
+            stop.set()
+            elapsed = time.perf_counter() - started
+            for client in clients:
+                client.join(timeout=10)
+
+            job_doc = manager.get(job_id)
+            in_flight_throughout = job_doc.get("state") in ("queued", "running")
+            manager.shutdown(wait=False)
+
+    result_latencies = [l for c in clients for l in c.latencies[0]]
+    status_latencies = [l for c in clients for l in c.latencies[1]]
+    errors = sum(c.errors for c in clients)
+    result_rps = len(result_latencies) / elapsed
+    status_p99 = percentile(status_latencies, 0.99)
+    return {
+        "elapsed_s": round(elapsed, 3),
+        "clients": args.clients,
+        "cached_result_requests": len(result_latencies),
+        "cached_result_rps": round(result_rps, 1),
+        "status_polls": len(status_latencies),
+        "status_poll_p99_s": round(status_p99, 5),
+        "status_poll_p50_s": round(percentile(status_latencies, 0.50), 5),
+        "errors": errors,
+        "computation_in_flight_throughout": in_flight_throughout,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent keep-alive connections")
+    parser.add_argument("--seconds", type=float, default=2.0,
+                        help="measurement window length")
+    parser.add_argument("--cell-delay", type=float, default=1.5,
+                        help="sleep per grid cell (keeps the job in flight)")
+    parser.add_argument("--min-rps", type=float, default=100.0,
+                        help="gate: minimum cached-result requests/sec")
+    parser.add_argument("--max-p99", type=float, default=0.25,
+                        help="gate: maximum status-poll p99 latency (s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a gate fails")
+    args = parser.parse_args(argv)
+
+    outcome = run_benchmark(args)
+    print(json.dumps(outcome, indent=1, sort_keys=True))
+
+    if not args.check:
+        return 0
+    failures = []
+    if outcome["errors"]:
+        failures.append(f"{outcome['errors']} request error(s)")
+    if not outcome["computation_in_flight_throughout"]:
+        failures.append(
+            "in-flight job finished before the window ended; "
+            "raise --cell-delay so reads are actually contended"
+        )
+    if outcome["cached_result_rps"] < args.min_rps:
+        failures.append(
+            f"cached-result throughput {outcome['cached_result_rps']}/s "
+            f"under the {args.min_rps}/s gate"
+        )
+    if outcome["status_poll_p99_s"] > args.max_p99:
+        failures.append(
+            f"status-poll p99 {outcome['status_poll_p99_s']}s "
+            f"over the {args.max_p99}s gate"
+        )
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

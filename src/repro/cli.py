@@ -49,11 +49,19 @@ retries and a content-addressed result cache — see
 ``sweep report`` re-renders a saved sweep report.
 
 ``doctor`` inspects a saved artifact — an activity-log CSV, a run
-report, or a sweep report — and flags failure signatures: deadlocked
-or leaking sweep cells (with their wait-for cycle from
-``failure_log``), leaked facility servers in a run report's metrics,
-and drain-dominated activity logs where offered rate and throughput
-diverge.  Exit code 1 when problems are found.
+report, a sweep report, a heartbeat stream, or a serve-job index
+document — and flags failure signatures: deadlocked or leaking sweep
+cells (with their wait-for cycle from ``failure_log``), leaked
+facility servers in a run report's metrics, and drain-dominated
+activity logs where offered rate and throughput diverge.  Exit code 1
+when problems are found.
+
+``serve`` runs the long-lived characterization service: an asyncio
+HTTP API (``POST /v1/jobs``, SSE progress streams, cached results by
+content address) over the sweep worker pool and result cache — see
+:mod:`repro.serve`.  ``sweep cache gc`` prunes that shared cache by
+age and/or total size (``--dry-run`` lists the victims first), and
+``watch --url`` tails a served job's SSE stream from anywhere.
 """
 
 from __future__ import annotations
@@ -421,7 +429,12 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             doc = json.load(handle)
         if not isinstance(doc, dict):
             raise ValueError(f"{path}: not a JSON object")
-        if "cells" in doc or "rows" in doc:
+        if doc.get("kind") == "serve-job":
+            from repro.obs.report import job_health
+
+            lines, problems = job_health(doc)
+            kind = "serve job"
+        elif "cells" in doc or "rows" in doc:
             lines, problems = sweep_health({"rows": doc.get("cells", doc.get("rows"))})
             kind = "sweep report"
         elif "schema" in doc:
@@ -452,15 +465,32 @@ def cmd_watch(args: argparse.Namespace) -> int:
     ``--heartbeat-dir``.  ``--once`` renders the current state
     deterministically and exits (0 healthy, 1 when any run failed);
     without it the table refreshes every ``--interval`` seconds until
-    every run reaches a terminal status.
+    every run reaches a terminal status.  A path that does not exist
+    *yet* is waited for in live mode (``repro serve`` creates a job's
+    heartbeat directory lazily, after the job is admitted), and an
+    error only in ``--once`` mode.
+
+    ``--url`` follows a served job instead of a local path: it
+    connects to the service's server-sent-event stream
+    (``/v1/jobs/{id}/events``) and prints job transitions and
+    heartbeat records as they arrive, exiting 0 when the job ends
+    ``done`` and 1 otherwise.
     """
     import os
 
     from repro.obs.heartbeat import TERMINAL_STATUSES, heartbeat_rows, render_fleet
 
+    if args.url:
+        if args.path is not None:
+            raise ValueError("watch takes a PATH or --url, not both")
+        return _watch_url(args.url)
     path = args.path
+    if path is None:
+        raise ValueError("watch needs a heartbeat PATH or --url")
     if not os.path.exists(path):
-        raise ValueError(f"{path}: no such heartbeat file or directory")
+        if args.once:
+            raise ValueError(f"{path}: no such heartbeat file or directory")
+        print(f"waiting for {path} to appear...", flush=True)
 
     def healthy(rows) -> bool:
         return all(str(r.get("status")) != "failed" for r in rows.values())
@@ -474,18 +504,120 @@ def cmd_watch(args: argparse.Namespace) -> int:
     rows = {}
     try:
         while True:
-            rows = heartbeat_rows(path)
-            if sys.stdout.isatty():  # pragma: no cover - interactive only
-                print("\x1b[2J\x1b[H", end="")
-            print(render_fleet(rows, now=time.time()), flush=True)
-            if rows and all(
-                str(r.get("status")) in TERMINAL_STATUSES for r in rows.values()
-            ):
-                break
+            # The producer may create (or momentarily recreate) the
+            # path at any time; treat absence as an empty fleet, not
+            # an error, and keep polling.
+            rows = heartbeat_rows(path) if os.path.exists(path) else {}
+            if rows:
+                if sys.stdout.isatty():  # pragma: no cover - interactive only
+                    print("\x1b[2J\x1b[H", end="")
+                print(render_fleet(rows, now=time.time()), flush=True)
+                if all(
+                    str(r.get("status")) in TERMINAL_STATUSES for r in rows.values()
+                ):
+                    break
             time.sleep(args.interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return 130
     return 0 if healthy(rows) else 1
+
+
+def _watch_url(url: str) -> int:
+    """Follow a served job's SSE stream; 0 when the job ends ``done``."""
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import parse_sse_stream
+
+    if "://" not in url:
+        url = "http://" + url
+    try:
+        response = urllib.request.urlopen(url)  # noqa: S310 - user-given URL
+    except urllib.error.URLError as error:
+        raise ValueError(f"{url}: {error.reason}")
+    final_state = None
+    with response:
+        for event, doc in parse_sse_stream(response):
+            if event == "job":
+                progress = doc.get("progress") or {}
+                done = progress.get("done")
+                total = progress.get("total")
+                suffix = f" [{done}/{total}]" if done is not None else ""
+                print(f"job {doc.get('id')}: {doc.get('state')}{suffix}", flush=True)
+            elif event == "heartbeat":
+                label = doc.get("label", "?")
+                status = doc.get("status", "?")
+                sim_time = doc.get("sim_time")
+                events = doc.get("events")
+                detail = ""
+                if isinstance(sim_time, (int, float)):
+                    detail += f" sim-t {sim_time:g}"
+                if isinstance(events, (int, float)):
+                    detail += f" events {int(events)}"
+                print(f"  {label}: {status}{detail}", flush=True)
+            elif event == "end":
+                final_state = str(doc.get("state", "?"))
+                print(f"job ended: {final_state}", flush=True)
+                break
+    return 0 if final_state == "done" else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived characterization service (see repro.serve)."""
+    from repro.serve import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        sweep_jobs=args.jobs,
+        max_concurrent_jobs=args.max_jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_cells=args.max_cells,
+        max_body=args.max_body,
+        rate=args.rate,
+        burst=args.burst,
+        resume=not args.no_resume,
+    )
+    return run_service(config)
+
+
+def _parse_size(text: str) -> int:
+    """``"512"`` bytes, or with a K/M/G suffix (binary multiples)."""
+    text = text.strip()
+    multiplier = 1
+    suffixes = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    if text and text[-1].lower() in suffixes:
+        multiplier = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"malformed size {text!r} (want bytes or K/M/G suffix)")
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {value}")
+    return value * multiplier
+
+
+def cmd_sweep_cache_gc(args: argparse.Namespace) -> int:
+    """Prune the content-addressed result cache by age and/or size."""
+    from repro.sweep import ResultCache
+
+    if args.max_age_days is None and args.max_bytes is None:
+        raise ValueError("cache gc needs --max-age-days and/or --max-bytes")
+    cache = ResultCache(args.cache_dir)
+    report = cache.gc(
+        max_age_seconds=(
+            args.max_age_days * 86400.0 if args.max_age_days is not None else None
+        ),
+        max_bytes=_parse_size(args.max_bytes) if args.max_bytes is not None else None,
+        dry_run=args.dry_run,
+    )
+    print(f"cache {args.cache_dir}:")
+    print(report.describe())
+    return 0
 
 
 def cmd_sp2_model(args: argparse.Namespace) -> int:
@@ -701,12 +833,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_report.set_defaults(handler=cmd_sweep_report)
 
+    sweep_cache = sweep_sub.add_parser(
+        "cache", help="manage the content-addressed result cache"
+    )
+    sweep_cache_sub = sweep_cache.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_gc = sweep_cache_sub.add_parser(
+        "gc", help="evict cache entries by age and/or total size"
+    )
+    cache_gc.add_argument(
+        "--cache-dir", default=".repro-sweep-cache",
+        help="result cache directory (default .repro-sweep-cache)",
+    )
+    cache_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="evict entries not rewritten in DAYS days",
+    )
+    cache_gc.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="evict oldest entries until the cache fits SIZE "
+             "(bytes, or with a K/M/G suffix)",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="list what would be evicted without deleting anything",
+    )
+    cache_gc.set_defaults(handler=cmd_sweep_cache_gc)
+
     watch = sub.add_parser(
         "watch", help="tail heartbeat stream(s) as a refreshing fleet table"
     )
     watch.add_argument(
-        "path",
-        help="one run's heartbeat .jsonl, or a sweep's --heartbeat-dir",
+        "path", nargs="?", default=None,
+        help="one run's heartbeat .jsonl, or a sweep's --heartbeat-dir "
+             "(waited for if it does not exist yet)",
+    )
+    watch.add_argument(
+        "--url", default=None, metavar="URL",
+        help="follow a served job's SSE stream instead of a local path "
+             "(http://HOST:PORT/v1/jobs/ID/events)",
     )
     watch.add_argument(
         "--once", action="store_true",
@@ -717,6 +883,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period for live tailing (default 2.0)",
     )
     watch.set_defaults(handler=cmd_watch)
+
+    serve = sub.add_parser(
+        "serve", help="run the async characterization service (HTTP job API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8177, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--state-dir", default=".repro-serve",
+        help="service state root: job index, trace uploads, heartbeats",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro-sweep-cache",
+        help="content-addressed result cache shared with repro sweep",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per grid job (run_sweep pool size)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=2, metavar="N",
+        help="jobs executing concurrently; the rest queue (default 2)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed cell (default 1)",
+    )
+    serve.add_argument(
+        "--max-cells", type=int, default=64,
+        help="largest grid expansion one POST may request (default 64)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=1_000_000,
+        help="largest request body in bytes (default 1000000)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=5.0,
+        help="sustained job submissions/sec per client; <= 0 disables "
+             "(default 5.0)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=10,
+        help="submission burst capacity per client (default 10)",
+    )
+    serve.add_argument(
+        "--no-resume", action="store_true",
+        help="do not re-enqueue incomplete jobs from the index at startup",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

@@ -250,6 +250,79 @@ def heartbeat_rows(path: str) -> Dict[str, Dict[str, object]]:
     return {stem: record}
 
 
+class HeartbeatFollower:
+    """Incremental tailer of one stream or a directory of streams.
+
+    Where :func:`read_heartbeats` re-reads a whole file per call, a
+    follower remembers a byte offset per file and each :meth:`poll`
+    returns only the records appended since the last one — the seam
+    the serve SSE endpoint (and any other live consumer) tails on.
+    The contract is tuned for liveness rather than forensics:
+
+    * a path (or directory) that does not exist *yet* is not an error
+      — heartbeat directories are created lazily by the producer, so
+      ``poll`` just returns nothing until it appears;
+    * a partial final line is left unconsumed (it completes on a later
+      poll);
+    * a file that *shrank* (a new attempt truncated and restarted the
+      stream) resets its offset and is re-read from the top;
+    * an unparseable completed line is skipped rather than raised — a
+      live tail must keep flowing past one torn record.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._offsets: Dict[str, int] = {}
+
+    def _files(self) -> List[str]:
+        if os.path.isdir(self.path):
+            try:
+                names = sorted(os.listdir(self.path))
+            except OSError:
+                return []
+            return [
+                os.path.join(self.path, name)
+                for name in names
+                if name.endswith(HEARTBEAT_SUFFIX)
+            ]
+        if os.path.isfile(self.path):
+            return [self.path]
+        return []
+
+    def poll(self) -> List[Dict[str, object]]:
+        """New complete records across all followed files, in
+        (file name, write order)."""
+        records: List[Dict[str, object]] = []
+        for path in self._files():
+            offset = self._offsets.get(path, 0)
+            try:
+                size = os.path.getsize(path)
+                if size < offset:
+                    offset = 0  # truncated and restarted: re-read
+                if size == offset:
+                    continue
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            complete, sep, _partial = chunk.rpartition(b"\n")
+            if not sep:
+                continue  # no complete line yet
+            self._offsets[path] = offset + len(complete) + len(sep)
+            for line in complete.split(b"\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if isinstance(doc, dict):
+                    records.append(doc)
+        return records
+
+
 def render_fleet(
     rows: Mapping[str, Dict[str, object]], now: Optional[float] = None
 ) -> str:

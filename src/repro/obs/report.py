@@ -266,6 +266,41 @@ def heartbeat_health(records: List[Dict[str, object]]) -> Tuple[List[str], int]:
     return lines, problems
 
 
+def job_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
+    """Health lines + problem count for one serve-job document.
+
+    Job documents (``repro serve``'s on-disk index,
+    :mod:`repro.serve.index`) carry the doctor verdict the service
+    attached when the job finished; this re-surfaces it — plus the
+    job's own lifecycle state — so ``repro doctor jobs/<id>.json``
+    works offline, on the index file alone.
+    """
+    lines: List[str] = []
+    problems = 0
+    state = str(doc.get("state", "?"))
+    job_id = doc.get("id", "?")
+    kind = doc.get("job_kind", "?")
+    lines.append(f"job {job_id} ({kind}): state {state}")
+    result = doc.get("result")
+    if isinstance(result, dict) and "cells" in result:
+        lines.append(
+            f"{result.get('cells', 0)} cell(s): {result.get('computed', 0)} computed, "
+            f"{result.get('cached', 0)} cached, {result.get('failed', 0)} failed"
+        )
+    if state == "failed":
+        problems += 1
+        lines.append(f"WARNING: job failed: {doc.get('error', '?')}")
+    elif state not in ("done",):
+        lines.append(f"note: job not finished (state {state}); resumes on restart")
+    health = doc.get("health")
+    if isinstance(health, dict):
+        embedded = int(health.get("problems", 0) or 0)
+        problems += embedded
+        for line in health.get("lines", ()):
+            lines.append(str(line))
+    return lines, problems
+
+
 def sweep_health(doc: Dict[str, object]) -> Tuple[List[str], int]:
     """Health lines + problem count for a sweep-report dict.
 

@@ -1,0 +1,51 @@
+"""``repro.serve``: the async characterization service.
+
+Turns the one-user CLI pipeline into a multi-tenant HTTP service over
+the content-addressed sweep cache: clients POST sweep grids or trace
+uploads, poll or SSE-stream job progress, and fetch results by content
+address — identical requests from many clients cost one simulation.
+
+See :mod:`repro.serve.app` for the API surface and
+``DESIGN.md §5h`` for the architecture.
+"""
+
+from repro.serve.api import HttpError, parse_sse_stream
+from repro.serve.app import (
+    BackgroundService,
+    CharacterizationService,
+    ServiceConfig,
+    run_service,
+)
+from repro.serve.index import (
+    DONE,
+    FAILED,
+    JOB_KIND,
+    JOB_SCHEMA_VERSION,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobIndex,
+)
+from repro.serve.jobs import GRID_JOB, TRACE_JOB, JobManager
+from repro.serve.ratelimit import RateLimiter
+
+__all__ = [
+    "BackgroundService",
+    "CharacterizationService",
+    "DONE",
+    "FAILED",
+    "GRID_JOB",
+    "HttpError",
+    "JOB_KIND",
+    "JOB_SCHEMA_VERSION",
+    "JobIndex",
+    "JobManager",
+    "QUEUED",
+    "RUNNING",
+    "RateLimiter",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "TRACE_JOB",
+    "parse_sse_stream",
+    "run_service",
+]

@@ -1,0 +1,101 @@
+"""On-disk job index: one JSON document per job, written atomically.
+
+The index is what makes the service restartable: every state
+transition of a job is persisted with the same crash-safe pattern the
+rest of the repo uses (same-directory temp file + :func:`os.replace`,
+via :func:`repro.obs.fsio.atomic_write_text`), so a killed service
+leaves behind either the previous complete document or the new one —
+never a torn half-write.  On startup :meth:`JobIndex.incomplete`
+surfaces every job that was queued or running when the lights went
+out; the manager re-enqueues them, and the content-addressed sweep
+cache makes re-execution of already-finished cells free.
+
+Documents are small (spec + state + result summary; artifacts live in
+the result cache, trace uploads in their own content-addressed files),
+so a directory scan over them is cheap at any realistic job count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.fsio import atomic_write_text
+
+#: Bumped when the job-document layout changes incompatibly.
+JOB_SCHEMA_VERSION = 1
+
+#: Marker distinguishing a job document from the repo's other JSON
+#: artifacts (run reports, sweep reports) — ``repro doctor`` dispatches
+#: on it.
+JOB_KIND = "serve-job"
+
+#: Job lifecycle states.  ``queued`` and ``running`` are the
+#: resume-on-restart states; ``done`` and ``failed`` are terminal.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TERMINAL_STATES = (DONE, FAILED)
+
+
+class JobIndex:
+    """Job documents under ``root``, keyed by job id."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def path_for(self, job_id: str) -> str:
+        return os.path.join(self.root, job_id + ".json")
+
+    def save(self, doc: Dict[str, object]) -> None:
+        """Persist one job document (atomic overwrite)."""
+        job_id = str(doc["id"])
+        atomic_write_text(
+            self.path_for(job_id), json.dumps(doc, sort_keys=True) + "\n"
+        )
+
+    def load(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job document for ``job_id``, or None.
+
+        A torn document cannot happen by construction (atomic writes);
+        a hand-damaged one is reported as missing rather than taking
+        the whole service down.
+        """
+        try:
+            with open(self.path_for(job_id)) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def all_jobs(self) -> List[Dict[str, object]]:
+        """Every job document, oldest submission first."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        docs: List[Dict[str, object]] = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            doc = self.load(name[: -len(".json")])
+            if doc is not None:
+                docs.append(doc)
+        docs.sort(key=lambda d: (d.get("created", 0.0), str(d.get("id"))))
+        return docs
+
+    def incomplete(self) -> List[Dict[str, object]]:
+        """Jobs that were queued or running at the last shutdown."""
+        return [
+            doc for doc in self.all_jobs() if doc.get("state") not in TERMINAL_STATES
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Job tally by state (the health endpoint's summary)."""
+        counts: Dict[str, int] = {}
+        for doc in self.all_jobs():
+            state = str(doc.get("state", "?"))
+            counts[state] = counts.get(state, 0) + 1
+        return counts

@@ -1,0 +1,98 @@
+"""Per-client token-bucket rate limiting for job ingestion.
+
+Submitting a job is the expensive verb of the API — one POST can fan
+out into a grid of simulations — so ingestion is the surface that gets
+a limiter.  The classic token bucket fits: each client identity holds
+``burst`` tokens, refilled at ``rate`` tokens per second; a submission
+spends one token, and an empty bucket means 429 with a precise
+``Retry-After``.  Cached reads (status polls, result fetches) stay
+unmetered: they are the cheap path the service exists to make cheap.
+
+The limiter is synchronous and lock-free by design — it is only ever
+touched from the service's single event-loop thread — and the clock is
+injectable so tests drive time by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+#: Idle buckets are dropped once they are full again and this much
+#: wall time has passed since their last spend, bounding memory under
+#: a churn of one-shot client identities.
+_IDLE_SWEEP_SECONDS = 300.0
+
+
+class RateLimiter:
+    """Token buckets keyed by client identity.
+
+    Parameters
+    ----------
+    rate:
+        Sustained submissions per second per client.  ``rate <= 0``
+        disables limiting entirely (every ``allow`` succeeds).
+    burst:
+        Bucket capacity: how many submissions a quiet client may fire
+        back to back before the sustained rate applies.
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        #: client -> (tokens, last refill time)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._last_sweep = clock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def _refill(self, client: str, now: float) -> float:
+        tokens, stamp = self._buckets.get(client, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+        return tokens
+
+    def allow(self, client: str) -> bool:
+        """Spend one token for ``client``; False when the bucket is dry."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        self._sweep(now)
+        tokens = self._refill(client, now)
+        if tokens < 1.0:
+            self._buckets[client] = (tokens, now)
+            return False
+        self._buckets[client] = (tokens - 1.0, now)
+        return True
+
+    def retry_after(self, client: str) -> float:
+        """Seconds until ``client``'s next token exists (0 when ready)."""
+        if not self.enabled:
+            return 0.0
+        tokens = self._refill(client, self._clock())
+        if tokens >= 1.0:
+            return 0.0
+        return (1.0 - tokens) / self.rate
+
+    def _sweep(self, now: float) -> None:
+        if now - self._last_sweep < _IDLE_SWEEP_SECONDS:
+            return
+        self._last_sweep = now
+        for client in list(self._buckets):
+            tokens, stamp = self._buckets[client]
+            if (
+                now - stamp >= _IDLE_SWEEP_SECONDS
+                and self._refill(client, now) >= self.burst
+            ):
+                del self._buckets[client]

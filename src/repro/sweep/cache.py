@@ -26,7 +26,9 @@ import json
 import os
 import pickle
 import tempfile
-from typing import Dict, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import repro
 from repro.sweep.grid import canonical_json
@@ -92,8 +94,19 @@ class ResultCache:
 
     def _write_atomic(self, path: str, payload: bytes) -> None:
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        while True:
+            try:
+                os.makedirs(directory, exist_ok=True)
+                fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            except (FileNotFoundError, FileExistsError):
+                # A concurrent gc rmdir'd the shard mid-creation: either
+                # between makedirs and mkstemp, or inside makedirs itself
+                # (mkdir loses to another writer, then the dir vanishes
+                # before the exist_ok re-check).  gc only removes *empty*
+                # shards, so once our temp file exists the shard is
+                # pinned; recreate and retry until it is.
+                continue
+            break
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
@@ -156,3 +169,149 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def entries(self) -> List["CacheEntry"]:
+        """Every on-disk entry (JSON and pickle), oldest first.
+
+        Stray temp files from interrupted writes are skipped (they are
+        not entries; interrupted :func:`os.replace` publishes leave
+        none behind anyway).  Files that vanish mid-scan — a concurrent
+        writer or a parallel gc — are silently dropped.
+        """
+        found: List[CacheEntry] = []
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                base, ext = os.path.splitext(name)
+                if ext not in (".json", ".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                found.append(
+                    CacheEntry(
+                        key=base,
+                        path=path,
+                        kind=ext[1:],
+                        bytes=int(stat.st_size),
+                        mtime=float(stat.st_mtime),
+                    )
+                )
+        found.sort(key=lambda e: (e.mtime, e.key, e.kind))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.bytes for entry in self.entries())
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> "GcReport":
+        """Age/size-based eviction; returns what was (or would be) cut.
+
+        Policy, in order:
+
+        1. every entry older than ``max_age_seconds`` is evicted;
+        2. if the survivors still exceed ``max_bytes``, the oldest are
+           evicted (LRU by mtime — :meth:`put` rewrites refresh the
+           stamp) until the total fits.
+
+        With ``dry_run`` nothing is deleted; the report lists the same
+        victims.  Eviction is safe under concurrent readers: a reader
+        that loses the race simply takes a miss and recomputes, which
+        is the cache's normal corruption story.
+        """
+        if now is None:
+            now = time.time()
+        entries = self.entries()
+        evict: List[CacheEntry] = []
+        kept: List[CacheEntry] = []
+        for entry in entries:
+            if max_age_seconds is not None and now - entry.mtime > max_age_seconds:
+                entry.reason = "age"
+                evict.append(entry)
+            else:
+                kept.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(entry.bytes for entry in kept)
+            survivors: List[CacheEntry] = []
+            for i, entry in enumerate(kept):  # oldest first
+                if kept_bytes > max_bytes:
+                    entry.reason = "size"
+                    evict.append(entry)
+                    kept_bytes -= entry.bytes
+                else:
+                    survivors.extend(kept[i:])
+                    break
+            kept = survivors
+        if not dry_run:
+            for entry in evict:
+                try:
+                    os.unlink(entry.path)
+                except OSError:
+                    pass
+            for shard in list({os.path.dirname(e.path) for e in evict}):
+                try:
+                    os.rmdir(shard)  # only succeeds when emptied
+                except OSError:
+                    pass
+        return GcReport(
+            evicted=evict,
+            kept=len(kept),
+            kept_bytes=sum(entry.bytes for entry in kept),
+            freed_bytes=sum(entry.bytes for entry in evict),
+            dry_run=dry_run,
+        )
+
+
+@dataclass
+class CacheEntry:
+    """One on-disk cache file (a JSON result or a pickle artifact)."""
+
+    key: str
+    path: str
+    kind: str  # "json" | "pkl"
+    bytes: int
+    mtime: float
+    #: Set by :meth:`ResultCache.gc` on eviction victims: "age" | "size".
+    reason: Optional[str] = None
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultCache.gc` pass cut (or would cut)."""
+
+    evicted: List[CacheEntry] = field(default_factory=list)
+    kept: int = 0
+    kept_bytes: int = 0
+    freed_bytes: int = 0
+    dry_run: bool = False
+
+    def describe(self) -> str:
+        verb = "would evict" if self.dry_run else "evicted"
+        lines = [
+            f"{verb} {len(self.evicted)} entr{'y' if len(self.evicted) == 1 else 'ies'} "
+            f"({self.freed_bytes} bytes); keeping {self.kept} "
+            f"({self.kept_bytes} bytes)"
+        ]
+        for entry in self.evicted:
+            age = time.time() - entry.mtime
+            lines.append(
+                f"  {entry.key[:16]}… .{entry.kind:<4} {entry.bytes:>9}B  "
+                f"age {age / 86400:.1f}d  ({entry.reason})"
+            )
+        return "\n".join(lines)

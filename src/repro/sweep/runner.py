@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Tuple
@@ -236,6 +237,7 @@ def run_sweep(
     cell_fn: Optional[CellFunction] = None,
     on_progress: Optional[Callable[[Dict[str, object], int, int], None]] = None,
     heartbeat_dir: Optional[str] = None,
+    cancel_event: Optional["threading.Event"] = None,
 ) -> SweepResult:
     """Execute every cell of ``grid``; never raises for cell failures.
 
@@ -269,6 +271,14 @@ def run_sweep(
         ``pending`` streams up front, ``cached`` on cache hits, and an
         appended ``failed`` record when retries are exhausted — so the
         fleet table always shows the whole grid.
+    cancel_event:
+        A :class:`threading.Event` that, once set, stops the sweep at
+        the next cell boundary: no new cells start, in-flight pool
+        futures are cancelled or abandoned, and the partial
+        :class:`SweepResult` holds only the cells that settled.  The
+        long-running service uses this for graceful shutdown — the
+        cache makes re-running the settled cells free, so a cancelled
+        sweep resumes where it left off.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -321,8 +331,11 @@ def run_sweep(
     def heartbeat_for(index: int) -> Optional[str]:
         return heartbeats[index] if heartbeats is not None else None
 
+    cancelled = cancel_event.is_set if cancel_event is not None else (lambda: False)
     if jobs == 1 or len(pending) <= 1:
         for index, spec, key in pending:
+            if cancelled():
+                break
             attempt = 0
             while True:
                 attempt += 1
@@ -338,7 +351,7 @@ def run_sweep(
                 else:
                     record_success(index, spec, key, report, attempt)
                     break
-                if attempt > retries:
+                if attempt > retries or cancelled():
                     record_failure(
                         index, spec, key, status, message, attempt, failure_log
                     )
@@ -355,6 +368,7 @@ def run_sweep(
             record_success,
             record_failure,
             heartbeat_for,
+            cancelled,
         )
 
     return SweepResult(
@@ -390,7 +404,7 @@ def _heartbeat_paths(
 
 def _run_pool(
     pending, fn, jobs, timeout, retries, backoff, record_success, record_failure,
-    heartbeat_for=lambda index: None,
+    heartbeat_for=lambda index: None, cancelled=lambda: False,
 ) -> None:
     """Pool execution with supervisor-side retry queue and deadlines."""
     deadline_budget = (2.0 * timeout + _DEADLINE_GRACE) if timeout else None
@@ -412,6 +426,14 @@ def _run_pool(
         for index, spec, key in pending:
             submit(index, spec, key, attempt=1)
         while futures or retry_queue:
+            if cancelled():
+                # Graceful stop: drop unstarted work on the floor (the
+                # caller's cache-backed resume re-runs it for free) and
+                # let the pool tear down without waiting.
+                for future in list(futures):
+                    future.cancel()
+                abandoned = True
+                break
             now = time.monotonic()
             for entry in list(retry_queue):
                 ready_at, index, spec, key, attempt = entry

@@ -1,0 +1,172 @@
+"""Concurrent access to the content-addressed result cache.
+
+The serve subsystem leans on two properties the cache has always
+promised but never had cross-process tests for:
+
+* **Atomic publish** — an entry is written to a same-shard temp file
+  and :func:`os.replace`'d into place, so a reader polling the key
+  sees either nothing or one complete document, never a torn write.
+* **Last-writer-wins convergence** — many processes computing the same
+  digest (two services sharing a cache dir, a service racing a CLI
+  sweep) may all publish; every published document is valid and reads
+  converge on one of them.
+
+Real processes, not threads: ``os.replace`` atomicity and the
+visibility of renamed files are filesystem behaviors that in-process
+tests cannot exercise.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.sweep.cache import ResultCache
+
+#: One spec, one digest — every worker below contends on this key.
+SPEC = {"app": "contended", "cell": 7}
+
+
+def _cache(root):
+    return ResultCache(root, fingerprint="f" * 16)
+
+
+def publisher(root, barrier, writer_id, rounds):
+    """Publish ``rounds`` versions of the same key, flat out."""
+    cache = _cache(root)
+    key = cache.key_for_doc(SPEC)
+    barrier.wait()
+    for round_number in range(rounds):
+        cache.put(
+            key,
+            {
+                "writer": writer_id,
+                "round": round_number,
+                "pad": "x" * 2048,  # big enough that a torn write is visible
+            },
+        )
+
+
+def poller(root, barrier, stop, results):
+    """Read the contended key in a tight loop, recording anomalies."""
+    cache = _cache(root)
+    key = cache.key_for_doc(SPEC)
+    reads = 0
+    torn = 0
+    barrier.wait()
+    while not stop.is_set():
+        doc = cache.get(key)
+        if doc is not None:
+            reads += 1
+            if set(doc) != {"writer", "round", "pad"} or len(doc["pad"]) != 2048:
+                torn += 1
+    results.put({"reads": reads, "torn": torn})
+
+
+def gc_worker(root, barrier, stop):
+    """Run eviction passes concurrently with the writers."""
+    cache = _cache(root)
+    barrier.wait()
+    while not stop.is_set():
+        cache.gc(max_bytes=0)
+        time.sleep(0.001)
+
+
+class TestConcurrentPublish:
+    def test_two_processes_same_digest_atomic_publish(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(3)
+        stop = ctx.Event()
+        results = ctx.Queue()
+        writers = [
+            ctx.Process(target=publisher, args=(root, barrier, wid, 150))
+            for wid in range(2)
+        ]
+        reader = ctx.Process(target=poller, args=(root, barrier, stop, results))
+        for process in writers + [reader]:
+            process.start()
+        for process in writers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        stop.set()
+        reader.join(timeout=60)
+        assert reader.exitcode == 0
+        outcome = results.get(timeout=10)
+        assert outcome["torn"] == 0, f"reader saw {outcome['torn']} torn documents"
+        # The reader genuinely observed the contended window, and the
+        # final document is one writer's complete last round.
+        assert outcome["reads"] > 0
+        cache = _cache(root)
+        final = cache.get(cache.key_for_doc(SPEC))
+        assert final["writer"] in (0, 1)
+        assert final["round"] == 149
+
+    def test_no_temp_litter_after_contention(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(target=publisher, args=(root, barrier, wid, 50))
+            for wid in range(2)
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        leftovers = []
+        for dirpath, _, filenames in os.walk(root):
+            leftovers.extend(n for n in filenames if n.endswith(".tmp"))
+        assert leftovers == []
+
+    def test_gc_racing_writers_is_safe(self, tmp_path):
+        # Eviction deleting entries out from under a publisher must
+        # never corrupt the cache or crash either side; readers just
+        # take a miss and recompute.
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        stop = ctx.Event()
+        writer = ctx.Process(target=publisher, args=(root, barrier, 0, 150))
+        collector = ctx.Process(target=gc_worker, args=(root, barrier, stop))
+        writer.start()
+        collector.start()
+        writer.join(timeout=60)
+        stop.set()
+        collector.join(timeout=60)
+        assert writer.exitcode == 0
+        assert collector.exitcode == 0
+        # Whatever survived the race is parseable.
+        cache = _cache(root)
+        for entry in cache.entries():
+            if entry.kind == "json":
+                with open(entry.path) as handle:
+                    json.load(handle)
+
+
+class TestInProcessRace:
+    def test_interleaved_put_get_many_threads(self, tmp_path):
+        import threading
+
+        cache = _cache(str(tmp_path / "cache"))
+        key = cache.key_for_doc(SPEC)
+        errors = []
+
+        def hammer(thread_id):
+            try:
+                for i in range(200):
+                    cache.put(key, {"writer": thread_id, "round": i, "pad": "x" * 512})
+                    doc = cache.get(key)
+                    assert doc is not None and len(doc["pad"]) == 512
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

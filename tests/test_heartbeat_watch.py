@@ -14,6 +14,7 @@ import pytest
 from repro.cli import main
 from repro.obs.heartbeat import (
     HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatFollower,
     HeartbeatWriter,
     heartbeat_rows,
     last_heartbeat,
@@ -231,6 +232,175 @@ class TestWatchCli:
         assert "heartbeat stream" in out and "healthy" in out
         failed = self._finished_stream(tmp_path, status="failed")
         assert main(["doctor", failed]) == 1
+
+
+class TestHeartbeatFollower:
+    def test_incremental_poll_single_file(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        follower = HeartbeatFollower(path)
+        assert follower.poll() == []  # not created yet
+        writer = HeartbeatWriter(path, label="r", wall_clock=FakeClock())
+        first = follower.poll()
+        assert [r["status"] for r in first] == ["running"]
+        writer.write_window(sim_time=5.0, events=10)
+        writer.finish("done", sim_time=9.0, events=20)
+        second = follower.poll()
+        assert [r["status"] for r in second] == ["running", "done"]
+        assert follower.poll() == []  # fully drained
+
+    def test_follows_files_appearing_in_directory(self, tmp_path):
+        follower = HeartbeatFollower(str(tmp_path))
+        assert follower.poll() == []
+        write_status_record(str(tmp_path / "a.jsonl"), "a", "cached")
+        assert [r["label"] for r in follower.poll()] == ["a"]
+        write_status_record(str(tmp_path / "b.jsonl"), "b", "cached")
+        assert [r["label"] for r in follower.poll()] == ["b"]
+
+    def test_partial_line_held_until_complete(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        follower = HeartbeatFollower(path)
+        with open(path, "w") as handle:
+            handle.write('{"label": "r", "status": "running"}\n')
+            handle.write('{"label": "r", "sta')  # writer mid-record
+            handle.flush()
+        assert [r["status"] for r in follower.poll()] == ["running"]
+        with open(path, "a") as handle:
+            handle.write('tus": "done"}\n')
+        assert [r["status"] for r in follower.poll()] == ["done"]
+
+    def test_truncated_restart_resets_offset(self, tmp_path):
+        # A retried cell reopens its stream with truncation; the
+        # follower must notice the shrink and re-read from the start.
+        path = str(tmp_path / "run.jsonl")
+        follower = HeartbeatFollower(path)
+        writer = HeartbeatWriter(path, label="attempt1", wall_clock=FakeClock())
+        writer.write_window(sim_time=5.0, events=10)
+        writer.write_window(sim_time=6.0, events=20)
+        assert len(follower.poll()) == 3
+        HeartbeatWriter(path, label="attempt2", wall_clock=FakeClock())
+        records = follower.poll()
+        assert [r["label"] for r in records] == ["attempt2"]
+
+    def test_unparseable_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"status": "running"}\n')
+            handle.write("garbage\n")
+            handle.write('{"status": "done"}\n')
+        records = HeartbeatFollower(path).poll()
+        assert [r["status"] for r in records] == ["running", "done"]
+
+
+class TestWatchLatePath:
+    def test_live_watch_waits_for_directory(self, capsys, tmp_path):
+        # `repro serve` creates a job's heartbeat dir only once the job
+        # starts; watch must poll for the path instead of erroring.
+        import threading
+        import time as time_module
+
+        hb = tmp_path / "hb-not-yet"
+
+        def populate():
+            time_module.sleep(0.2)
+            HeartbeatWriter(
+                str(hb / "cell.jsonl"), label="late", wall_clock=FakeClock()
+            ).finish("done", sim_time=1.0, events=2)
+
+        thread = threading.Thread(target=populate)
+        thread.start()
+        try:
+            code = main(["watch", str(hb), "--interval", "0.05"])
+        finally:
+            thread.join()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"waiting for {hb} to appear...")
+        assert "1 run(s): 1 done" in out
+
+    def test_once_still_errors_on_missing_path(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path / "nope"), "--once"]) == 2
+        assert "no such heartbeat" in capsys.readouterr().err
+
+
+class TestWatchUrl:
+    def _service(self, tmp_path):
+        from repro.serve import BackgroundService, JobManager, ServiceConfig
+        from repro.sweep import ResultCache
+
+        def cell(spec_doc, heartbeat=None):
+            if heartbeat is not None:
+                writer = HeartbeatWriter(heartbeat, label=spec_doc["app"])
+                writer.finish("done", sim_time=1.0, events=10)
+            return {"schema": 1, "app": spec_doc["app"], "messages": 3}
+
+        manager = JobManager(
+            str(tmp_path / "state"),
+            ResultCache(str(tmp_path / "cache")),
+            cell_fn=cell,
+        )
+        config = ServiceConfig(
+            port=0,
+            state_dir=str(tmp_path / "state"),
+            cache_dir=str(tmp_path / "cache"),
+            rate=0.0,
+            poll_interval=0.02,
+        )
+        return BackgroundService(config, manager=manager)
+
+    def _submit(self, service):
+        import json as json_module
+        import urllib.request
+
+        body = json_module.dumps(
+            {
+                "grid": {
+                    "apps": ["1d-fft"],
+                    "app_params": {"1d-fft": {"n": 32}},
+                    "meshes": ["2x2"],
+                    "messages_per_source": 10,
+                }
+            }
+        ).encode()
+        request = urllib.request.Request(
+            service.base_url + "/v1/jobs",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return json_module.loads(response.read())["id"]
+
+    def test_watch_url_follows_job_to_done(self, capsys, tmp_path):
+        with self._service(tmp_path) as service:
+            job_id = self._submit(service)
+            code = main(
+                ["watch", "--url", f"{service.base_url}/v1/jobs/{job_id}/events"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"job {job_id}" in out
+        assert "1d-fft: done" in out
+        assert "job ended: done" in out
+
+    def test_watch_url_scheme_optional(self, capsys, tmp_path):
+        with self._service(tmp_path) as service:
+            job_id = self._submit(service)
+            bare = f"{service.service.config.host}:{service.port}"
+            code = main(["watch", "--url", f"{bare}/v1/jobs/{job_id}/events"])
+        assert code == 0
+
+    def test_watch_url_and_path_conflict(self, capsys, tmp_path):
+        code = main(["watch", str(tmp_path), "--url", "http://x/v1"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_watch_neither_path_nor_url(self, capsys):
+        assert main(["watch"]) == 2
+        assert "PATH or --url" in capsys.readouterr().err
+
+    def test_watch_url_unreachable(self, capsys):
+        code = main(["watch", "--url", "http://127.0.0.1:9/v1/jobs/x/events"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSweepHeartbeats:

@@ -1,0 +1,308 @@
+"""Unit tests for the service's non-HTTP layers.
+
+The HTTP surface has its own end-to-end suite
+(``test_serve_api.py``); these tests pin down the pieces underneath
+it: the crash-safe job index, the token-bucket rate limiter (driven by
+a fake clock), job digesting, and the request-parsing helpers.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.serve import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    HttpError,
+    JobIndex,
+    JobManager,
+    RateLimiter,
+    parse_sse_stream,
+)
+from repro.serve.api import (
+    error_response,
+    json_response,
+    read_request,
+    split_path,
+    sse_event,
+)
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import GridSpec
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_doc(job_id, state=QUEUED, created=1.0, **extra):
+    doc = {
+        "schema": 1,
+        "kind": "serve-job",
+        "id": job_id,
+        "digest": "d" * 64,
+        "state": state,
+        "created": created,
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestJobIndex:
+    def test_round_trip(self, tmp_path):
+        index = JobIndex(str(tmp_path / "jobs"))
+        doc = make_doc("j1", result={"cells": 3})
+        index.save(doc)
+        assert index.load("j1") == doc
+
+    def test_missing_and_corrupt_load_as_none(self, tmp_path):
+        index = JobIndex(str(tmp_path / "jobs"))
+        assert index.load("nope") is None
+        index.save(make_doc("j1"))
+        with open(index.path_for("j1"), "w") as handle:
+            handle.write("{torn")
+        assert index.load("j1") is None
+
+    def test_all_jobs_sorted_by_creation(self, tmp_path):
+        index = JobIndex(str(tmp_path / "jobs"))
+        index.save(make_doc("jb", created=2.0))
+        index.save(make_doc("ja", created=1.0))
+        index.save(make_doc("jc", created=3.0))
+        assert [d["id"] for d in index.all_jobs()] == ["ja", "jb", "jc"]
+
+    def test_incomplete_filters_terminal(self, tmp_path):
+        index = JobIndex(str(tmp_path / "jobs"))
+        index.save(make_doc("j1", state=QUEUED, created=1.0))
+        index.save(make_doc("j2", state=RUNNING, created=2.0))
+        index.save(make_doc("j3", state=DONE, created=3.0))
+        index.save(make_doc("j4", state=FAILED, created=4.0))
+        assert [d["id"] for d in index.incomplete()] == ["j1", "j2"]
+        assert index.counts() == {"queued": 1, "running": 1, "done": 1, "failed": 1}
+
+    def test_save_is_atomic_no_temp_litter(self, tmp_path):
+        index = JobIndex(str(tmp_path / "jobs"))
+        for i in range(5):
+            index.save(make_doc("j1", created=float(i)))
+        names = os.listdir(str(tmp_path / "jobs"))
+        assert names == ["j1.json"]
+
+    def test_empty_directory(self, tmp_path):
+        index = JobIndex(str(tmp_path / "missing"))
+        assert index.all_jobs() == []
+        assert index.counts() == {}
+
+
+class TestRateLimiter:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=3, clock=clock)
+        assert [limiter.allow("c") for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=2, clock=clock)
+        assert limiter.allow("c") and limiter.allow("c")
+        assert not limiter.allow("c")
+        clock.advance(0.5)  # 2/s * 0.5s = exactly one token back
+        assert limiter.allow("c")
+        assert not limiter.allow("c")
+
+    def test_retry_after_is_precise(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.5, burst=1, clock=clock)
+        assert limiter.allow("c")
+        assert not limiter.allow("c")
+        assert limiter.retry_after("c") == pytest.approx(2.0)
+        clock.advance(1.0)
+        assert limiter.retry_after("c") == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert limiter.retry_after("c") == 0.0
+        assert limiter.allow("c")
+
+    def test_clients_are_independent(self):
+        limiter = RateLimiter(rate=1.0, burst=1, clock=FakeClock())
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")
+
+    def test_disabled_when_rate_nonpositive(self):
+        limiter = RateLimiter(rate=0.0, burst=1, clock=FakeClock())
+        assert all(limiter.allow("c") for _ in range(100))
+        assert limiter.retry_after("c") == 0.0
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=10.0, burst=2, clock=clock)
+        assert limiter.allow("c")
+        clock.advance(3600.0)  # a long idle must not bank 36000 tokens
+        results = [limiter.allow("c") for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_idle_buckets_swept(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+        for i in range(50):
+            limiter.allow(f"one-shot-{i}")
+        assert len(limiter._buckets) == 50
+        clock.advance(301.0)
+        limiter.allow("survivor")
+        assert set(limiter._buckets) == {"survivor"}
+
+    def test_burst_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0)
+
+
+class TestDigests:
+    def make_manager(self, tmp_path, name="state"):
+        return JobManager(
+            str(tmp_path / name),
+            ResultCache(str(tmp_path / "cache"), fingerprint="f" * 16),
+        )
+
+    def test_grid_digest_is_stable_and_order_insensitive(self, tmp_path):
+        manager = self.make_manager(tmp_path)
+        a = GridSpec.from_dict(
+            {
+                "apps": ["1d-fft"],
+                "meshes": ["2x2"],
+                "rate_scales": [1.0, 2.0],
+                "messages_per_source": 10,
+            }
+        )
+        b = GridSpec.from_dict(
+            {
+                "messages_per_source": 10,
+                "rate_scales": [1.0, 2.0],
+                "meshes": ["2x2"],
+                "apps": ["1d-fft"],
+            }
+        )
+        assert manager.digest_for_grid(a) == manager.digest_for_grid(b)
+
+    def test_grid_digest_differs_from_cell_keys(self, tmp_path):
+        # The job digest must never collide with a cell's cache key,
+        # or GET /v1/results/{digest} could serve a job spec as a report.
+        manager = self.make_manager(tmp_path)
+        grid = GridSpec.from_dict(
+            {"apps": ["1d-fft"], "meshes": ["2x2"], "messages_per_source": 10}
+        )
+        cell_keys = {
+            manager.cache.key_for(cell.canonical_json())
+            for cell in grid.expand()
+        }
+        assert manager.digest_for_grid(grid) not in cell_keys
+
+    def test_trace_digest_depends_on_content(self, tmp_path):
+        manager = self.make_manager(tmp_path)
+        assert manager.digest_for_trace(b"a,b,c") == manager.digest_for_trace(b"a,b,c")
+        assert manager.digest_for_trace(b"a,b,c") != manager.digest_for_trace(b"x,y,z")
+
+    def test_digest_changes_with_code_fingerprint(self, tmp_path):
+        old = JobManager(
+            str(tmp_path / "s1"),
+            ResultCache(str(tmp_path / "c1"), fingerprint="old-code"),
+        )
+        new = JobManager(
+            str(tmp_path / "s2"),
+            ResultCache(str(tmp_path / "c2"), fingerprint="new-code"),
+        )
+        grid = GridSpec.from_dict(
+            {"apps": ["1d-fft"], "meshes": ["2x2"], "messages_per_source": 10}
+        )
+        assert old.digest_for_grid(grid) != new.digest_for_grid(grid)
+        old.shutdown()
+        new.shutdown()
+
+
+class TestHttpHelpers:
+    def run(self, coro):
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(coro)
+        finally:
+            loop.close()
+
+    def parse(self, raw, max_body=1000):
+        async def _go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_request(reader, max_body)
+
+        return self.run(_go())
+
+    def test_parse_post_with_body(self):
+        body = json.dumps({"grid": {}}).encode()
+        raw = (
+            b"POST /v1/jobs?x=1 HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"X-Client: tenant\r\n\r\n" + body
+        )
+        request = self.parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"x": "1"}
+        assert request.client == "tenant"
+        assert request.json() == {"grid": {}}
+
+    def test_eof_returns_none(self):
+        assert self.parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.parse(b"GARBAGE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversize_declared_body_413(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.parse(b"POST / HTTP/1.1\r\nContent-Length: 5000\r\n\r\n", max_body=10)
+        assert excinfo.value.status == 413
+        assert excinfo.value.as_dict()["limit"] == 10
+
+    def test_chunked_upload_411(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_truncated_body_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_negative_content_length_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_response_framing(self):
+        raw = json_response(201, {"ok": True})
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 201 Created")
+        assert f"Content-Length: {len(payload)}".encode() in head
+        assert json.loads(payload) == {"ok": True}
+
+    def test_error_response_retry_after_rounds_up(self):
+        raw = error_response(HttpError(429, "slow down", retry_after=0.2))
+        assert b"Retry-After: 1\r\n" in raw
+        raw = error_response(HttpError(429, "slow down", retry_after=2.3))
+        assert b"Retry-After: 3\r\n" in raw
+
+    def test_sse_round_trip(self):
+        frames = sse_event("job", {"id": "j1"}) + sse_event("end", {"state": "done"})
+        events = list(parse_sse_stream(frames.decode().splitlines(True)))
+        assert events == [("job", {"id": "j1"}), ("end", {"state": "done"})]
+
+    def test_split_path(self):
+        assert split_path("/v1/jobs/abc/events") == ("v1", "jobs", "abc", "events")
+        assert split_path("/") == ()

@@ -1,0 +1,171 @@
+"""Tests for result-cache garbage collection (age/size eviction).
+
+Timestamps are controlled with ``os.utime`` and an explicit ``now``
+passed to :meth:`ResultCache.gc`, so nothing here sleeps or depends on
+wall-clock resolution.
+"""
+
+import os
+import time
+
+from repro.sweep.cache import ResultCache
+
+from repro.cli import main
+
+DAY = 86400.0
+NOW = 1_000_000_000.0
+
+
+def make_cache(tmp_path, n=0, size=0, now=NOW):
+    """A cache with ``n`` entries aged 0..n-1 days relative to ``now``,
+    each ``size`` bytes of padding; returns (cache, keys oldest-first).
+    CLI tests pass ``now=time.time()`` since the command cannot inject
+    a clock."""
+    cache = ResultCache(str(tmp_path / "cache"), fingerprint="f" * 16)
+    keys = []
+    for i in range(n):
+        key = cache.key_for_doc({"cell": i})
+        cache.put(key, {"i": i, "pad": "x" * size})
+        age_days = n - 1 - i  # cell 0 is the oldest
+        os.utime(cache._path(key, ".json"), (now - age_days * DAY,) * 2)
+        keys.append(key)
+    return cache, keys  # insertion order == oldest first
+
+
+class TestEntries:
+    def test_lists_oldest_first(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=3)
+        listed = [entry.key for entry in cache.entries()]
+        assert listed == keys
+
+    def test_includes_pickles_and_skips_strays(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        cache.put_pickle(keys[0], {"big": 1})
+        shard = os.path.dirname(cache._path(keys[0], ".json"))
+        with open(os.path.join(shard, "leftover.tmp"), "w") as handle:
+            handle.write("stray")
+        kinds = sorted(entry.kind for entry in cache.entries())
+        assert kinds == ["json", "pkl"]
+
+    def test_empty_or_missing_root(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "never-created"))
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+
+
+class TestAgeEviction:
+    def test_evicts_only_entries_past_max_age(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=4)  # ages 3d, 2d, 1d, 0d
+        report = cache.gc(max_age_seconds=1.5 * DAY, now=NOW)
+        assert sorted(e.key for e in report.evicted) == sorted(keys[:2])
+        assert all(e.reason == "age" for e in report.evicted)
+        assert report.kept == 2
+        assert not cache.has(keys[0]) and not cache.has(keys[1])
+        assert cache.has(keys[2]) and cache.has(keys[3])
+
+    def test_emptied_shards_are_removed(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=2)
+        cache.gc(max_age_seconds=0.0, now=NOW + DAY)
+        assert cache.entries() == []
+        assert os.listdir(cache.root) == []
+
+
+class TestSizeEviction:
+    def test_evicts_oldest_until_under_budget(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=4, size=100)
+        per_entry = cache.entries()[0].bytes
+        report = cache.gc(max_bytes=2 * per_entry, now=NOW)
+        assert [e.key for e in report.evicted] == keys[:2]
+        assert all(e.reason == "size" for e in report.evicted)
+        assert report.kept_bytes <= 2 * per_entry
+        assert cache.has(keys[2]) and cache.has(keys[3])
+
+    def test_no_eviction_when_under_budget(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=3)
+        report = cache.gc(max_bytes=cache.total_bytes() + 1, now=NOW)
+        assert report.evicted == []
+        assert report.kept == 3
+
+    def test_age_then_size_compose(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=4, size=100)
+        per_entry = cache.entries()[0].bytes
+        report = cache.gc(
+            max_age_seconds=2.5 * DAY, max_bytes=2 * per_entry, now=NOW
+        )
+        # keys[0] (3d) falls to age; survivors still over budget, so the
+        # next-oldest falls to size.
+        reasons = {e.key: e.reason for e in report.evicted}
+        assert reasons == {keys[0]: "age", keys[1]: "size"}
+
+
+class TestDryRun:
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=3)
+        report = cache.gc(max_age_seconds=0.0, dry_run=True, now=NOW + DAY)
+        assert len(report.evicted) == 3
+        assert report.dry_run
+        assert all(cache.has(key) for key in keys)
+        assert "would evict 3 entries" in report.describe()
+
+    def test_real_run_describes_in_past_tense(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        report = cache.gc(max_age_seconds=0.0, now=NOW + DAY)
+        assert report.describe().startswith("evicted 1 entry")
+
+
+class TestGcCli:
+    def test_requires_a_policy(self, tmp_path, capsys):
+        rc = main(["sweep", "cache", "gc", "--cache-dir", str(tmp_path / "c")])
+        assert rc == 2
+        assert "--max-age-days" in capsys.readouterr().err
+
+    def test_dry_run_then_real(self, tmp_path, capsys):
+        cache, keys = make_cache(tmp_path, n=2, now=time.time())
+        rc = main(
+            [
+                "sweep",
+                "cache",
+                "gc",
+                "--cache-dir",
+                cache.root,
+                "--max-age-days",
+                "0.5",
+                "--dry-run",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "would evict 1" in out
+        assert cache.has(keys[0])  # dry run deleted nothing
+        rc = main(
+            [
+                "sweep",
+                "cache",
+                "gc",
+                "--cache-dir",
+                cache.root,
+                "--max-age-days",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert not cache.has(keys[0])
+        assert cache.has(keys[1])
+
+    def test_max_bytes_accepts_size_suffixes(self, tmp_path, capsys):
+        cache, keys = make_cache(tmp_path, n=1)
+        rc = main(
+            [
+                "sweep",
+                "cache",
+                "gc",
+                "--cache-dir",
+                cache.root,
+                "--max-bytes",
+                "1M",
+            ]
+        )
+        assert rc == 0
+        assert "evicted 0" in capsys.readouterr().out
+        assert cache.has(keys[0])
