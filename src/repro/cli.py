@@ -127,6 +127,8 @@ def _kernel_options_from_args(
     max_no_progress = getattr(args, "max_no_progress", None)
     sample_interval = getattr(args, "sample_interval", None)
     heartbeat = getattr(args, "heartbeat", None)
+    log_spill = getattr(args, "log_spill", None)
+    log_spill_window = getattr(args, "log_spill_window", None)
     if not (
         metrics
         or timeline
@@ -134,6 +136,7 @@ def _kernel_options_from_args(
         or max_no_progress
         or sample_interval
         or heartbeat
+        or log_spill
     ):
         return None
     return RunOptions(
@@ -143,6 +146,8 @@ def _kernel_options_from_args(
         max_no_progress_events=max_no_progress,
         sample_interval=sample_interval,
         heartbeat=heartbeat,
+        log_spill=log_spill,
+        log_spill_window=log_spill_window if log_spill else None,
     )
 
 
@@ -194,6 +199,12 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     print(spatial_table(characterization))
     print()
     print(volume_table(characterization))
+    if args.log_spill:
+        manifest = run.log.finalize()
+        print(
+            f"\nactivity log spilled to {run.log.segment_count} segment(s); "
+            f"manifest at {manifest} (inspect with repro doctor)"
+        )
     if args.log_csv:
         run.log.write_csv(args.log_csv)
         print(f"\nactivity log written to {args.log_csv}")
@@ -418,6 +429,19 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     if path.endswith(".csv") or path.endswith(".csv.gz"):
         lines, problems = netlog_health(NetworkLog.read_csv(path))
         kind = "activity log"
+    elif path.endswith(".manifest.json"):
+        from repro.mesh.netlog_stream import read_manifest, summary_from_manifest
+
+        doc = read_manifest(path)
+        # netlog_health only needs .summary(); the merged streaming
+        # summary provides it without touching a single segment.
+        lines, problems = netlog_health(summary_from_manifest(path))
+        lines.insert(
+            0,
+            f"{len(doc['segments'])} segment(s), window {doc['window']}, "
+            f"{doc['records']} records spilled",
+        )
+        kind = "spilled activity log"
     elif path.endswith(".npz"):
         lines, problems = netlog_health(NetworkLog.read_npz(path))
         kind = "activity log"
@@ -679,6 +703,17 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument(
         "--log-npz", default=None,
         help="write the activity log here as columnar .npz (fast binary)",
+    )
+    characterize.add_argument(
+        "--log-spill", default=None, metavar="DIR",
+        help="collect the activity log out-of-core: spill full windows "
+             "to sharded npz segments under DIR and write a manifest "
+             "(characterization memory stays O(window))",
+    )
+    characterize.add_argument(
+        "--log-spill-window", type=int, default=None, metavar="N",
+        help="in-memory window size (records) before a spill "
+             "(default 262144; needs --log-spill)",
     )
     characterize.add_argument(
         "--metrics", default=None,

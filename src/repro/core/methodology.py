@@ -165,7 +165,9 @@ def characterize_message_passing(
         num_ranks=mesh_config.num_nodes, sp2=sp2, obs=registry, options=options
     )
     simulator = options.make_simulator(obs=registry)
-    network = MeshNetwork(simulator, mesh_config, timeline=recorder)
+    network = MeshNetwork(
+        simulator, mesh_config, timeline=recorder, log=options.make_netlog()
+    )
     # Telemetry covers the mesh replay (the phase producing the activity
     # log the methodology analyzes), not the SP2 front half.
     live = start_live_telemetry(

@@ -64,6 +64,18 @@ class RunOptions:
         (None = none).  Implies sampling at
         :data:`~repro.obs.live.DEFAULT_SAMPLE_INTERVAL` when
         ``sample_interval`` is unset.
+    log_spill:
+        Directory for out-of-core activity logging (None = in-memory,
+        the default).  When set, pipelines collect into a
+        :class:`~repro.mesh.netlog_stream.StreamingNetworkLog` that
+        spills full windows to compressed npz segments there, keeping
+        characterization memory O(window); like the other late-added
+        fields it is omitted from :meth:`as_dict` when unset so sweep
+        cache keys stay stable.
+    log_spill_window:
+        In-memory window size (records) before a spill; None defers to
+        :data:`~repro.mesh.netlog_stream.DEFAULT_WINDOW`.  Only
+        meaningful with ``log_spill``.
 
     Booleans rather than live registry/recorder objects keep the value
     hashable and JSON-round-trippable, which sweep cell specs need for
@@ -79,6 +91,8 @@ class RunOptions:
     scheduler: Optional[str] = None
     sample_interval: Optional[float] = None
     heartbeat: Optional[str] = None
+    log_spill: Optional[str] = None
+    log_spill_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheduler is not None and self.scheduler not in SCHEDULERS:
@@ -94,6 +108,10 @@ class RunOptions:
         if self.sample_interval is not None and not self.sample_interval > 0:
             raise ValueError(
                 f"sample_interval must be > 0 or None, got {self.sample_interval}"
+            )
+        if self.log_spill_window is not None and self.log_spill_window < 1:
+            raise ValueError(
+                f"log_spill_window must be >= 1 or None, got {self.log_spill_window}"
             )
 
     @property
@@ -115,6 +133,31 @@ class RunOptions:
     def make_simulator(self, obs: Optional[MetricsRegistry] = None) -> Simulator:
         """A kernel configured with this bundle's scheduler choice."""
         return Simulator(obs=obs, scheduler=self.scheduler)
+
+    def make_netlog(self, stem: str = "netlog"):
+        """The activity-log collector for one run under this bundle.
+
+        A :class:`~repro.mesh.netlog_stream.StreamingNetworkLog`
+        spilling into ``log_spill`` when out-of-core logging is
+        requested, else a plain in-memory
+        :class:`~repro.mesh.netlog.NetworkLog`.  Imported lazily so
+        this module stays free of a hard :mod:`repro.mesh` dependency.
+        """
+        if self.log_spill is None:
+            from repro.mesh.netlog import NetworkLog
+
+            return NetworkLog()
+        from repro.mesh.netlog_stream import DEFAULT_WINDOW, StreamingNetworkLog
+
+        return StreamingNetworkLog(
+            self.log_spill,
+            stem=stem,
+            window=(
+                self.log_spill_window
+                if self.log_spill_window is not None
+                else DEFAULT_WINDOW
+            ),
+        )
 
     def run_kwargs(self, until: Optional[float] = None) -> Dict[str, object]:
         """Keyword arguments for :meth:`Simulator.run` under this bundle.
@@ -139,7 +182,7 @@ class RunOptions:
     #: Fields omitted from :meth:`as_dict` when unset: they were added
     #: after sweep caches existed, and serializing their None defaults
     #: would silently re-key (invalidate) every cached cell.
-    _OPTIONAL_FIELDS = ("sample_interval", "heartbeat")
+    _OPTIONAL_FIELDS = ("sample_interval", "heartbeat", "log_spill", "log_spill_window")
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -119,7 +119,7 @@ class SyntheticTrafficGenerator:
             )
         options = self.options
         simulator = options.make_simulator()
-        network = MeshNetwork(simulator, self.mesh_config)
+        network = MeshNetwork(simulator, self.mesh_config, log=options.make_netlog())
         num_nodes = self.mesh_config.num_nodes
         sources = sorted(self.characterization.spatial.per_source)
         n_sources = max(len(sources), 1)
@@ -258,7 +258,7 @@ class PhaseCoupledTrafficGenerator:
             raise ValueError(f"total_messages must be >= 1, got {total_messages}")
         options = self.options
         simulator = options.make_simulator()
-        network = MeshNetwork(simulator, self.mesh_config)
+        network = MeshNetwork(simulator, self.mesh_config, log=options.make_netlog())
         rng = np.random.default_rng(self.seed)
         model = self.burst_model
         num_nodes = self.mesh_config.num_nodes

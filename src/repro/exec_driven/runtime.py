@@ -79,7 +79,12 @@ class ExecutionDrivenSimulation:
         self.simulator = Simulator(
             obs=obs, scheduler=options.scheduler if options is not None else None
         )
-        self.network = MeshNetwork(self.simulator, self.mesh_config, timeline=timeline)
+        self.network = MeshNetwork(
+            self.simulator,
+            self.mesh_config,
+            timeline=timeline,
+            log=options.make_netlog() if options is not None else None,
+        )
         self.machine = CCNUMAMachine(self.simulator, self.network, self.coherence_config)
         self.contexts = [
             ThreadContext(self.machine, pid)

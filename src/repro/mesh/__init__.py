@@ -21,6 +21,17 @@ Public surface:
 
 from repro.mesh.config import MeshConfig
 from repro.mesh.netlog import LogSummary, NetLogFormatError, NetLogRecord, NetworkLog
+from repro.mesh.netlog_stream import (
+    DEFAULT_WINDOW,
+    StreamingNetworkLog,
+    StreamingSummary,
+    iter_segments,
+    materialize_manifest,
+    read_manifest,
+    summarize_csv,
+    summarize_npz,
+    summary_from_manifest,
+)
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
 from repro.mesh.patterns import (
@@ -46,6 +57,7 @@ from repro.mesh.topology import (
 __all__ = [
     "BitComplementTraffic",
     "BitReversalTraffic",
+    "DEFAULT_WINDOW",
     "Hop",
     "HotspotTraffic",
     "HypercubeTopology",
@@ -57,13 +69,21 @@ __all__ = [
     "NetLogRecord",
     "NetworkLog",
     "NetworkMessage",
+    "StreamingNetworkLog",
+    "StreamingSummary",
     "Topology",
     "TorusTopology",
     "TrafficPattern",
     "TransposeTraffic",
     "UniformTraffic",
     "drive_pattern",
+    "iter_segments",
     "make_pattern",
     "make_topology",
+    "materialize_manifest",
+    "read_manifest",
+    "summarize_csv",
+    "summarize_npz",
+    "summary_from_manifest",
     "xy_route",
 ]

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import csv
 import gzip
+import zipfile
 from dataclasses import dataclass, fields
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -287,6 +288,15 @@ class NetworkLog:
             record.hops,
         )
 
+    def _intern_kind(self, kind: str) -> int:
+        """Dictionary-encode a kind tag, growing the vocabulary."""
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kind_vocab)
+            self._kind_codes[kind] = code
+            self._kind_vocab.append(kind)
+        return code
+
     def append(
         self,
         msg_id: int,
@@ -302,11 +312,7 @@ class NetworkLog:
     ) -> None:
         """Append one record from its fields (no :class:`NetLogRecord`
         construction needed -- the collection fast path)."""
-        code = self._kind_codes.get(kind)
-        if code is None:
-            code = len(self._kind_vocab)
-            self._kind_codes[kind] = code
-            self._kind_vocab.append(kind)
+        code = self._intern_kind(kind)
         self._pending.append(
             (
                 int(msg_id),
@@ -328,6 +334,89 @@ class NetworkLog:
         for record in records:
             self.add(record)
 
+    def _grow_to(self, need: int) -> None:
+        if need <= self._capacity:
+            return
+        new_capacity = max(need, 2 * self._capacity, self._MIN_CAPACITY)
+        for name, dtype in _SCHEMA:
+            grown = np.empty(new_capacity, dtype=dtype)
+            grown[: self._n] = self._buf[name][: self._n]
+            self._buf[name] = grown
+        self._capacity = new_capacity
+
+    def extend_columns(
+        self,
+        msg_id: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        length_bytes: np.ndarray,
+        kind,
+        inject_time: np.ndarray,
+        start_time: np.ndarray,
+        deliver_time: np.ndarray,
+        contention: np.ndarray,
+        hops: np.ndarray,
+    ) -> None:
+        """Bulk append from parallel column arrays (vectorized path).
+
+        ``kind`` is either one tag applied to every record or a
+        per-record sequence of tags; tags are dictionary-encoded into
+        the log's vocabulary.  All columns must be the same length.
+        This is the ingestion fast path for chunked readers and
+        synthesized benchmark traffic: each array crosses into the
+        sealed buffers with one slice assignment instead of one tuple
+        append per record.
+        """
+        self.seal()
+        arrays = {
+            "msg_id": np.asarray(msg_id),
+            "src": np.asarray(src),
+            "dst": np.asarray(dst),
+            "length_bytes": np.asarray(length_bytes),
+            "inject_time": np.asarray(inject_time),
+            "start_time": np.asarray(start_time),
+            "deliver_time": np.asarray(deliver_time),
+            "contention": np.asarray(contention),
+            "hops": np.asarray(hops),
+        }
+        n_new = arrays["msg_id"].size
+        for name, array in arrays.items():
+            if array.ndim != 1 or array.size != n_new:
+                raise ValueError(
+                    f"column {name!r} has shape {array.shape}; expected "
+                    f"{n_new} values in 1-D"
+                )
+        if isinstance(kind, str):
+            codes = np.full(n_new, self._intern_kind(kind), dtype=np.int32)
+        else:
+            tags = np.asarray(kind)
+            if tags.ndim != 1 or tags.size != n_new:
+                raise ValueError(
+                    f"column 'kind' has shape {tags.shape}; expected "
+                    f"{n_new} values in 1-D"
+                )
+            uniques, inverse = np.unique(tags, return_inverse=True)
+            lut = np.asarray(
+                [self._intern_kind(str(tag)) for tag in uniques], dtype=np.int32
+            )
+            codes = lut[inverse] if n_new else np.empty(0, dtype=np.int32)
+        if n_new == 0:
+            return
+        need = self._n + n_new
+        self._grow_to(need)
+        for name, dtype in _SCHEMA:
+            values = codes if name == "kind" else arrays[name]
+            self._buf[name][self._n : need] = values.astype(dtype, copy=False)
+        self._n = need
+        self._views = None
+
+    def columns(self) -> Tuple[Dict[str, np.ndarray], Tuple[str, ...]]:
+        """The sealed column arrays (read-only views) plus the kind
+        vocabulary -- the zero-copy handoff used by streaming
+        summaries and chunked writers."""
+        view = self._view()
+        return dict(view.cols), view.kind_vocab
+
     def seal(self) -> None:
         """Flush staged rows into the sealed column buffers.
 
@@ -340,13 +429,7 @@ class NetworkLog:
         if not pending:
             return
         need = self._n + len(pending)
-        if need > self._capacity:
-            new_capacity = max(need, 2 * self._capacity, self._MIN_CAPACITY)
-            for name, dtype in _SCHEMA:
-                grown = np.empty(new_capacity, dtype=dtype)
-                grown[: self._n] = self._buf[name][: self._n]
-                self._buf[name] = grown
-            self._capacity = new_capacity
+        self._grow_to(need)
         columns = tuple(zip(*pending))
         for (name, _), values in zip(_SCHEMA, columns):
             self._buf[name][self._n : need] = values
@@ -670,6 +753,35 @@ class NetworkLog:
         truncated rows, or unparsable field values.
         """
         log = cls()
+        for chunk in cls._iter_csv(path, chunk_size=None):
+            log = chunk
+        return log
+
+    @classmethod
+    def iter_csv_chunks(cls, path: str, chunk_size: int) -> Iterator["NetworkLog"]:
+        """Yield a CSV log as bounded :class:`NetworkLog` chunks.
+
+        Each yielded log holds at most ``chunk_size`` records in file
+        order; an empty file (header only) yields nothing.  This is the
+        O(window) ingestion path for out-of-core summaries
+        (:func:`repro.mesh.netlog_stream.summarize_csv`): no more than
+        one chunk of columns is ever materialized.  Raises
+        :class:`NetLogFormatError` exactly like :meth:`read_csv`.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for chunk in cls._iter_csv(path, chunk_size=chunk_size):
+            if len(chunk):
+                yield chunk
+
+    @classmethod
+    def _iter_csv(
+        cls, path: str, chunk_size: Optional[int]
+    ) -> Iterator["NetworkLog"]:
+        """Shared CSV reader: yields logs of at most ``chunk_size``
+        records, or one log of everything when ``chunk_size`` is None
+        (always yields at least that one, possibly empty)."""
+        log = cls()
         with _open_csv(path, "r") as handle:
             reader = csv.reader(handle)
             try:
@@ -720,7 +832,10 @@ class NetworkLog:
                     raise NetLogFormatError(
                         f"{path}: row {lineno}: {error}"
                     ) from error
-        return log
+                if chunk_size is not None and len(log) >= chunk_size:
+                    yield log
+                    log = cls()
+        yield log
 
     def write_npz(self, path: str) -> None:
         """Write the sealed columns as a compressed ``.npz``.
@@ -755,7 +870,9 @@ class NetworkLog:
         """
         try:
             data = np.load(path, allow_pickle=False)
-        except (OSError, ValueError) as error:
+        except (OSError, ValueError, zipfile.BadZipFile) as error:
+            # BadZipFile is what a truncated npz (torn spill segment)
+            # actually raises; it is not an OSError subclass.
             raise NetLogFormatError(f"{path}: not a netlog npz: {error}") from error
         with data:
             present = set(data.files)

@@ -40,6 +40,11 @@ class MeshNetwork:
     timeline:
         Chrome trace-event recorder receiving per-node message spans
         and per-channel occupancy spans (default: disabled).
+    log:
+        Activity-log collector to append deliveries to; defaults to a
+        fresh in-memory :class:`~repro.mesh.netlog.NetworkLog`.  Runs
+        with out-of-core logging inject a
+        :class:`~repro.mesh.netlog_stream.StreamingNetworkLog` here.
 
     Messages enter through :meth:`inject` (fire-and-forget, returns a
     completion :class:`SimEvent`) or :meth:`transfer` (a sub-generator
@@ -59,11 +64,15 @@ class MeshNetwork:
         config: MeshConfig,
         obs: Optional[MetricsRegistry] = None,
         timeline: Optional[TimelineRecorder] = None,
+        log=None,
     ) -> None:
         self.simulator = simulator
         self.config = config
         self.topology = config.make_topology()
-        self.log = NetworkLog()
+        # ``log`` lets runs inject a collector with different storage
+        # (e.g. a spilling StreamingNetworkLog); anything with the
+        # NetworkLog append surface works.
+        self.log = log if log is not None else NetworkLog()
         # One facility per (physical channel, virtual-channel lane).
         self._channels: Dict[Tuple[int, int, int], Facility] = {
             (u, v, lane): Facility(simulator, name=f"ch[{u}->{v}#{lane}]")

@@ -66,6 +66,7 @@ from repro.obs.report import (
     read_trajectory,
     report_from_log,
     report_from_run,
+    report_from_summary,
 )
 from repro.obs.timeline import (
     CHANNELS_PID,
@@ -102,6 +103,7 @@ __all__ = [
     "render_fleet",
     "report_from_log",
     "report_from_run",
+    "report_from_summary",
     "safe_label",
     "scan_heartbeat_dir",
     "series_health",

@@ -264,15 +264,24 @@ class HeartbeatFollower:
       ``poll`` just returns nothing until it appears;
     * a partial final line is left unconsumed (it completes on a later
       poll);
-    * a file that *shrank* (a new attempt truncated and restarted the
-      stream) resets its offset and is re-read from the top;
+    * a *restarted* stream (a new attempt rewrote the file) resets its
+      offset and is re-read from the top.  Shrinkage is one signal;
+      the other is a first-line fingerprint per file, which catches
+      the restart the size check misses: a rewrite that lands at or
+      beyond the stored offset would otherwise splice the new
+      attempt's bytes mid-stream as if they continued the old one;
     * an unparseable completed line is skipped rather than raised — a
       live tail must keep flowing past one torn record.
     """
 
+    #: First-line fingerprint cap: heartbeat header records are tens of
+    #: bytes, so 4 KB of first line is identity enough.
+    _FINGERPRINT_BYTES = 4096
+
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._offsets: Dict[str, int] = {}
+        self._fingerprints: Dict[str, bytes] = {}
 
     def _files(self) -> List[str]:
         if os.path.isdir(self.path):
@@ -296,12 +305,20 @@ class HeartbeatFollower:
         for path in self._files():
             offset = self._offsets.get(path, 0)
             try:
-                size = os.path.getsize(path)
-                if size < offset:
-                    offset = 0  # truncated and restarted: re-read
-                if size == offset:
-                    continue
                 with open(path, "rb") as handle:
+                    head = handle.readline(self._FINGERPRINT_BYTES)
+                    known = self._fingerprints.get(path)
+                    if known is not None and head != known:
+                        offset = 0  # restarted in place: re-read
+                    if head.endswith(b"\n") or len(head) >= self._FINGERPRINT_BYTES:
+                        # Only a *stable* first line is identity; a
+                        # partial one may still be mid-write.
+                        self._fingerprints[path] = head
+                    size = os.fstat(handle.fileno()).st_size
+                    if size < offset:
+                        offset = 0  # truncated and restarted: re-read
+                    if size == offset:
+                        continue
                     handle.seek(offset)
                     chunk = handle.read()
             except OSError:

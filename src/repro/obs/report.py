@@ -118,7 +118,36 @@ def report_from_log(
     :func:`report_from_run`, so sweeps and characterizations land in
     one comparable trajectory.
     """
-    stats = log.summary()
+    return report_from_summary(
+        log.summary(),
+        app=app,
+        strategy=strategy,
+        mesh=mesh,
+        params=params,
+        wall_seconds=wall_seconds,
+        metrics=metrics,
+        extra=extra,
+    )
+
+
+def report_from_summary(
+    stats,
+    app: str,
+    strategy: str,
+    mesh: str,
+    params: Optional[Dict[str, object]] = None,
+    wall_seconds: float = 0.0,
+    metrics: Optional[Dict[str, Dict[str, object]]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> RunReport:
+    """Build a :class:`RunReport` from an already-computed
+    :class:`~repro.mesh.netlog.LogSummary`.
+
+    The streaming path: out-of-core runs carry a mergeable summary
+    instead of a materialized log, and callers that already paid for
+    ``log.summary()`` (the sweep runner) reuse it instead of scanning
+    the columns twice.
+    """
     return RunReport(
         app=app,
         strategy=strategy,

@@ -33,6 +33,7 @@ for tests, the throughput benchmark, and embedding.
 from __future__ import annotations
 
 import asyncio
+import math
 import os
 import signal
 import sys
@@ -287,10 +288,14 @@ class CharacterizationService:
         client = request.client
         if not self.limiter.allow(client):
             self.stats.throttled += 1
+            # RFC 9110 Retry-After is integral delta-seconds; round the
+            # limiter's fractional estimate up so a 0.3s wait never
+            # reaches a client as 0 (instant retry, second 429).  The
+            # integer travels in both the header and the JSON body.
             raise HttpError(
                 429,
                 f"rate limit exceeded for client {client!r}",
-                retry_after=self.limiter.retry_after(client),
+                retry_after=max(1, math.ceil(self.limiter.retry_after(client))),
             )
         doc = request.json()
         if "grid" in doc:

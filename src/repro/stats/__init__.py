@@ -20,6 +20,9 @@ study."  This package provides the equivalent machinery:
   distribution fitting with model selection.
 * :mod:`repro.stats.spatial_models` -- discrete destination-distribution
   models (uniform, bimodal uniform / favorite processor, locality decay).
+* :mod:`repro.stats.streaming` -- one-pass mergeable estimators
+  (moments, fixed-bin histograms, P^2 quantiles, quantile digests) for
+  out-of-core characterization.
 """
 
 from repro.stats.distributions import (
@@ -45,6 +48,13 @@ from repro.stats.goodness import chi_square_statistic, ks_statistic, r_squared
 from repro.stats.histogram import Histogram, build_histogram
 from repro.stats.regression import NonlinearRegression, RegressionResult
 from repro.stats.secant import SecantResult, secant_least_squares
+from repro.stats.streaming import (
+    P2Quantile,
+    QuantileDigest,
+    StreamingHistogram,
+    StreamingMoments,
+    geometric_edges,
+)
 from repro.stats.spatial_models import (
     BimodalUniformPattern,
     ButterflyPattern,
@@ -72,17 +82,22 @@ __all__ = [
     "Lognormal",
     "MLEResult",
     "NonlinearRegression",
+    "P2Quantile",
     "Pareto",
     "Normal",
+    "QuantileDigest",
     "RegressionResult",
     "SecantResult",
     "ShiftedExponential",
     "SpatialFit",
     "SpatialPattern",
+    "StreamingHistogram",
+    "StreamingMoments",
     "Uniform",
     "UniformPattern",
     "Weibull",
     "build_histogram",
+    "geometric_edges",
     "autocorrelation",
     "chi_square_statistic",
     "classify_spatial",

@@ -118,18 +118,33 @@ class ResultCache:
                 pass
             raise
 
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's mtime on read so :meth:`gc`'s LRU order
+        reflects *use*, not just writes — without this, the hottest
+        (most-requested, never-rewritten) entries are the first size-
+        pressure victims.  A concurrent gc may unlink the file between
+        our read and the touch; that is just a lost refresh, not an
+        error."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The cached JSON document for ``key``, or None (a miss).
 
         Corrupt or unreadable entries count as misses — the cell simply
         re-executes and overwrites them.
         """
+        path = self._path(key, ".json")
         try:
-            with open(self._path(key, ".json")) as handle:
+            with open(path) as handle:
                 doc = json.load(handle)
         except (OSError, json.JSONDecodeError):
             self.misses += 1
             return None
+        self._touch(path)
         self.hits += 1
         return doc
 
@@ -144,12 +159,14 @@ class ResultCache:
         Unpicklable/corrupt entries are treated as misses: the cache is
         an accelerator, never a source of truth.
         """
+        path = self._path(key, ".pkl")
         try:
-            with open(self._path(key, ".pkl"), "rb") as handle:
+            with open(path, "rb") as handle:
                 obj = pickle.load(handle)
         except (OSError, pickle.PickleError, AttributeError, EOFError, ImportError):
             self.misses += 1
             return None
+        self._touch(path)
         self.hits += 1
         return obj
 
@@ -227,8 +244,9 @@ class ResultCache:
 
         1. every entry older than ``max_age_seconds`` is evicted;
         2. if the survivors still exceed ``max_bytes``, the oldest are
-           evicted (LRU by mtime — :meth:`put` rewrites refresh the
-           stamp) until the total fits.
+           evicted (LRU by mtime — :meth:`put` rewrites *and*
+           :meth:`get`/:meth:`get_pickle` hits refresh the stamp) until
+           the total fits.
 
         With ``dry_run`` nothing is deleted; the report lists the same
         victims.  Eviction is safe under concurrent readers: a reader

@@ -40,7 +40,7 @@ from repro.core.methodology import (
 )
 from repro.core.options import RunOptions
 from repro.obs.heartbeat import HEARTBEAT_SUFFIX, safe_label, write_status_record
-from repro.obs.report import report_from_log
+from repro.obs.report import report_from_summary
 from repro.sweep.aggregate import SweepResult
 from repro.sweep.cache import ResultCache
 from repro.sweep.grid import NO_PROTOCOL, CellSpec, GridSpec
@@ -165,9 +165,11 @@ def execute_cell(
         options=run_options,
     )
     point = measurement.point
+    # One summary pass serves both the extra fields and the report --
+    # and works unchanged when the log is a streaming (spilled) one.
     stats = measurement.log.summary()
-    report = report_from_log(
-        measurement.log,
+    report = report_from_summary(
+        stats,
         app=spec.app,
         strategy=run.characterization.strategy,
         mesh=spec.mesh,

@@ -281,6 +281,51 @@ class TestHeartbeatFollower:
         records = follower.poll()
         assert [r["label"] for r in records] == ["attempt2"]
 
+    def test_same_size_restart_is_detected(self, tmp_path):
+        # Regression: a restarted stream whose rewritten file is the
+        # same size as (or larger than) the stored offset used to slip
+        # past the shrink check, so the follower never re-read it.  The
+        # first-line fingerprint catches the rewrite even when sizes
+        # line up exactly.
+        path = str(tmp_path / "run.jsonl")
+        first = '{"schema": 1, "label": "attempt-A", "status": "running"}\n'
+        second = '{"schema": 1, "label": "attempt-B", "status": "running"}\n'
+        assert len(first) == len(second)  # byte-identical sizes
+        follower = HeartbeatFollower(path)
+        with open(path, "w") as handle:
+            handle.write(first)
+        assert [r["label"] for r in follower.poll()] == ["attempt-A"]
+        with open(path, "w") as handle:
+            handle.write(second)  # same size: offset == new size
+        assert [r["label"] for r in follower.poll()] == ["attempt-B"]
+
+    def test_larger_restart_is_detected(self, tmp_path):
+        # Same regression, growth flavor: the restarted stream is
+        # already *longer* than the stored offset, so the old
+        # size-shrunk check saw ordinary growth and resumed mid-record.
+        path = str(tmp_path / "run.jsonl")
+        follower = HeartbeatFollower(path)
+        with open(path, "w") as handle:
+            handle.write('{"label": "a", "status": "running"}\n')
+        assert [r["label"] for r in follower.poll()] == ["a"]
+        with open(path, "w") as handle:
+            handle.write('{"label": "b-restarted", "status": "running"}\n')
+            handle.write('{"label": "b-restarted", "status": "done"}\n')
+        records = follower.poll()
+        assert [r["label"] for r in records] == ["b-restarted", "b-restarted"]
+        assert [r["status"] for r in records] == ["running", "done"]
+
+    def test_fingerprint_survives_plain_append(self, tmp_path):
+        # Appends to an unchanged stream must not be mistaken for
+        # restarts (the fingerprint only covers the first line).
+        path = str(tmp_path / "run.jsonl")
+        follower = HeartbeatFollower(path)
+        writer = HeartbeatWriter(path, label="r", wall_clock=FakeClock())
+        assert len(follower.poll()) == 1
+        writer.write_window(sim_time=1.0, events=5)
+        writer.write_window(sim_time=2.0, events=9)
+        assert len(follower.poll()) == 2  # only the new records
+
     def test_unparseable_lines_skipped(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         with open(path, "w") as handle:

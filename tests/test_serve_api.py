@@ -11,6 +11,7 @@ first job open until the second identical submission has attached.
 import http.client
 import json
 import os
+import re
 import threading
 import time
 
@@ -314,7 +315,14 @@ class TestRateLimit:
             )
             assert (status1, status2) == (201, 201)
             assert status3 == 429
+            # RFC 9110 Retry-After delta-seconds is integral: the header
+            # must be pure digits (a fractional "1000.0" makes strict
+            # clients ignore it), and the JSON body must carry the same
+            # integral value, not the limiter's raw float.
+            assert re.fullmatch(r"[0-9]+", resp_headers["Retry-After"])
             assert int(resp_headers["Retry-After"]) >= 1
+            assert isinstance(doc["retry_after"], int)
+            assert doc["retry_after"] >= 1
             # A different client identity has its own bucket.
             status4, _, _ = client.post(
                 "/v1/jobs", {"grid": grid3}, headers={"X-Client": "tenant-b"}

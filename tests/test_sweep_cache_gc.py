@@ -86,6 +86,34 @@ class TestSizeEviction:
         assert report.evicted == []
         assert report.kept == 3
 
+    def test_read_hot_entry_survives_size_pressure(self, tmp_path):
+        # Regression: gc orders by mtime but only writes used to
+        # refresh it, so the most-requested entry in the cache — read
+        # constantly, rewritten never — was always the first size-
+        # pressure victim.  A read hit must bump the stamp.
+        cache, keys = make_cache(tmp_path, n=4, size=100)
+        assert cache.get(keys[0]) is not None  # oldest entry, now hot
+        per_entry = cache.entries()[0].bytes
+        report = cache.gc(max_bytes=2 * per_entry, now=NOW)
+        # The freshly-read oldest entry survives; the next two oldest
+        # (untouched) are evicted instead.
+        assert [e.key for e in report.evicted] == keys[1:3]
+        assert cache.has(keys[0]) and cache.has(keys[3])
+
+    def test_pickle_read_also_refreshes(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        cache.put_pickle(keys[0], {"obj": 1})
+        stale = NOW - 10 * DAY
+        os.utime(cache._path(keys[0], ".pkl"), (stale, stale))
+        assert cache.get_pickle(keys[0]) == {"obj": 1}
+        entry = next(e for e in cache.entries() if e.kind == "pkl")
+        assert entry.mtime > stale  # read hit refreshed the stamp
+
+    def test_miss_does_not_create_or_touch(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), fingerprint="f" * 16)
+        assert cache.get("0" * 64) is None
+        assert cache.entries() == []
+
     def test_age_then_size_compose(self, tmp_path):
         cache, keys = make_cache(tmp_path, n=4, size=100)
         per_entry = cache.entries()[0].bytes
