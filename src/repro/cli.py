@@ -22,6 +22,8 @@ Usage (via ``python -m repro``):
     $ python -m repro doctor run-log.csv.gz
     $ python -m repro characterize 1d-fft --param n=256 --log-npz log.npz
     $ python -m repro doctor log.npz
+    $ python -m repro drive --mesh 16x16 --pattern local --messages 200 \
+          --scheduler parallel --regions 4 --sync barrier --log-spill /tmp/run
 
 ``characterize`` runs the right strategy for the application (dynamic
 for shared memory, static for message passing), prints the
@@ -41,6 +43,13 @@ the legacy oracle; both produce bit-identical logs) and
 ``--max-no-progress N`` arms the no-progress watchdog.  For sweeps the
 flags enter every cell's :class:`~repro.core.options.RunOptions` and
 therefore its cache key.
+
+``drive`` replays a pre-drawn pattern workload on the mesh:
+``--scheduler parallel`` shards it across conservative region worker
+processes (``--regions``, ``--sync {barrier,null}``) and writes one
+merged ``netlog-spill`` manifest every existing consumer (``doctor``,
+the characterize readers) understands; serial schedulers replay the
+identical schedule for equivalence comparisons.
 
 ``sweep`` runs declarative experiment grids (app x mesh x protocol x
 rate-scale x seed) on a worker pool with per-cell timeouts, bounded
@@ -73,6 +82,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS, create_app
 from repro.core import (
+    PARALLEL_SYNC_MODES,
+    RUN_SCHEDULERS,
     RunOptions,
     SyntheticTrafficGenerator,
     characterize_message_passing,
@@ -129,6 +140,8 @@ def _kernel_options_from_args(
     heartbeat = getattr(args, "heartbeat", None)
     log_spill = getattr(args, "log_spill", None)
     log_spill_window = getattr(args, "log_spill_window", None)
+    regions = getattr(args, "regions", None)
+    sync = getattr(args, "sync", None)
     if not (
         metrics
         or timeline
@@ -139,6 +152,7 @@ def _kernel_options_from_args(
         or log_spill
     ):
         return None
+    parallel = scheduler == "parallel"
     return RunOptions(
         metrics=metrics,
         timeline=timeline,
@@ -148,6 +162,8 @@ def _kernel_options_from_args(
         heartbeat=heartbeat,
         log_spill=log_spill,
         log_spill_window=log_spill_window if log_spill else None,
+        parallel_regions=regions if parallel else None,
+        parallel_sync=sync if parallel else None,
     )
 
 
@@ -656,6 +672,45 @@ def cmd_sp2_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_drive(args: argparse.Namespace) -> int:
+    """Replay a pre-drawn pattern workload, serial or parallel."""
+    from repro.core.run import run_pattern
+    from repro.simkernel.engine_parallel import ParallelRunResult
+
+    mesh = _parse_mesh(args.mesh)
+    options = RunOptions(
+        scheduler=args.scheduler,
+        log_spill=args.log_spill,
+        log_spill_window=args.log_spill_window if args.log_spill else None,
+        parallel_regions=args.regions if args.scheduler == "parallel" else None,
+        parallel_sync=args.sync if args.scheduler == "parallel" else None,
+    )
+    result = run_pattern(
+        mesh_config=mesh,
+        pattern=args.pattern,
+        messages_per_source=args.messages,
+        seed=args.seed,
+        mean_gap=args.mean_gap,
+        length_bytes=args.length,
+        options=options,
+    )
+    print(f"mesh {mesh.width}x{mesh.height}, pattern {args.pattern}, "
+          f"scheduler {args.scheduler or 'calendar'}")
+    if isinstance(result, ParallelRunResult):
+        print(f"  regions {result.regions} (active {len(result.active_regions)}), "
+              f"sync {result.sync}, lookahead {result.lookahead:g}, "
+              f"rounds {result.rounds}")
+        print(f"  messages {result.records}, clock {result.clock:.3f}, "
+              f"events {result.events_fired}")
+        print(f"  manifest {result.manifest_path}")
+    else:
+        print(f"  messages {len(result.log)}, clock {result.clock:.3f}, "
+              f"events {result.events_fired}")
+        if result.manifest_path:
+            print(f"  manifest {result.manifest_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -765,6 +820,52 @@ def build_parser() -> argparse.ArgumentParser:
     sp2 = sub.add_parser("sp2-model", help="print the SP2 overhead model")
     sp2.add_argument("bytes", nargs="+", type=int)
     sp2.set_defaults(handler=cmd_sp2_model)
+
+    drive = sub.add_parser(
+        "drive",
+        help="replay a pre-drawn pattern workload (serial or parallel mesh)",
+    )
+    drive.add_argument("--mesh", default="8x8", help="WxH[:topology] (default 8x8)")
+    drive.add_argument(
+        "--pattern", choices=("local", "uniform"), default="uniform",
+        help="traffic pattern: local stays within each source's row "
+             "(never crosses region boundaries), uniform spreads over "
+             "every other node",
+    )
+    drive.add_argument("--messages", type=int, default=100, metavar="N",
+                       help="messages per source (default 100)")
+    drive.add_argument("--seed", type=int, default=1234)
+    drive.add_argument("--mean-gap", type=float, default=10.0, metavar="T",
+                       help="mean exponential inter-injection gap (default 10)")
+    drive.add_argument("--length", type=int, default=64, metavar="BYTES",
+                       help="payload bytes per message (default 64)")
+    drive.add_argument(
+        "--scheduler", choices=RUN_SCHEDULERS, default=None,
+        help="calendar/heap run one serial simulator; parallel shards "
+             "the mesh into conservative region worker processes",
+    )
+    drive.add_argument(
+        "--regions", type=int, default=None, metavar="R",
+        help="region worker processes for --scheduler parallel (default 2)",
+    )
+    drive.add_argument(
+        "--sync", choices=PARALLEL_SYNC_MODES, default=None,
+        help="conservative advancement mode for --scheduler parallel: "
+             "barrier (global horizon) or null (per-region null-message "
+             "horizons; default barrier)",
+    )
+    drive.add_argument(
+        "--log-spill", default=None, metavar="DIR",
+        help="spill the activity log under DIR and write a netlog-spill "
+             "manifest (the parallel scheduler always spills; without "
+             "this it uses a temporary directory)",
+    )
+    drive.add_argument(
+        "--log-spill-window", type=int, default=None, metavar="N",
+        help="in-memory window size (records) before a spill "
+             "(default 262144; needs --log-spill)",
+    )
+    drive.set_defaults(handler=cmd_drive)
 
     doctor = sub.add_parser(
         "doctor",

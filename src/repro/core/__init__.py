@@ -32,7 +32,12 @@ from repro.core.loadsweep import (
     measure_load_point,
     sweep_load,
 )
-from repro.core.options import RunOptions, resolve_run_options
+from repro.core.options import (
+    PARALLEL_SYNC_MODES,
+    RUN_SCHEDULERS,
+    RunOptions,
+    resolve_run_options,
+)
 from repro.core.phases import PhaseSegment, phase_table, segment_phases
 from repro.core.methodology import (
     CharacterizationRun,
@@ -40,7 +45,7 @@ from repro.core.methodology import (
     characterize_message_passing,
     characterize_shared_memory,
 )
-from repro.core.run import run_dynamic, run_static, run_synthetic
+from repro.core.run import run_dynamic, run_pattern, run_static, run_synthetic
 from repro.core.spatial import analyze_spatial
 from repro.core.analytical import AnalyticalEstimate, WormholeLatencyModel
 from repro.core.bursts import BurstModel, estimate_bursts
@@ -57,8 +62,10 @@ __all__ = [
     "LoadMeasurement",
     "LoadPoint",
     "LoadSweep",
+    "PARALLEL_SYNC_MODES",
     "PhaseCoupledTrafficGenerator",
     "PhaseSegment",
+    "RUN_SCHEDULERS",
     "RunOptions",
     "SpatialCharacterization",
     "SyntheticTrafficGenerator",
@@ -78,6 +85,7 @@ __all__ = [
     "phase_table",
     "resolve_run_options",
     "run_dynamic",
+    "run_pattern",
     "run_static",
     "run_synthetic",
     "segment_phases",

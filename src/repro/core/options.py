@@ -25,6 +25,15 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TimelineRecorder
 from repro.simkernel import SCHEDULERS, Simulator
 
+#: The conservative parallel scheduler accepted on top of the serial
+#: kernel schedulers (:data:`repro.simkernel.SCHEDULERS`).  Kept as a
+#: literal here so validating an options bundle does not import the
+#: mesh stack; :mod:`repro.simkernel.engine_parallel` asserts the names
+#: agree.
+PARALLEL_SCHEDULER = "parallel"
+RUN_SCHEDULERS = SCHEDULERS + (PARALLEL_SCHEDULER,)
+PARALLEL_SYNC_MODES = ("barrier", "null")
+
 
 @dataclass(frozen=True)
 class RunOptions:
@@ -53,6 +62,19 @@ class RunOptions:
         Event-list implementation, ``"calendar"`` (fast path) or
         ``"heap"`` (legacy oracle); None defers to the
         ``REPRO_SCHEDULER`` environment variable, then ``"calendar"``.
+        ``"parallel"`` selects the conservative multi-process mesh
+        scheduler (:mod:`repro.simkernel.engine_parallel`); pattern
+        runners dispatch on it, while :meth:`make_simulator` maps it to
+        the calendar kernel each region worker runs on.
+    parallel_regions:
+        Number of spatial regions (worker processes) for the
+        ``parallel`` scheduler; None defers to the runner's default.
+        Omitted from :meth:`as_dict` when unset, like every late-added
+        field, so pre-existing sweep cache keys stay stable.
+    parallel_sync:
+        Conservative advancement mode for the ``parallel`` scheduler,
+        ``"barrier"`` (global horizon) or ``"null"`` (per-region
+        null-message horizons); None defers to the runner's default.
     sample_interval:
         Live-telemetry sampling interval in simulated time units: the
         run carries a :class:`~repro.obs.live.LiveSampler` producing
@@ -93,12 +115,26 @@ class RunOptions:
     heartbeat: Optional[str] = None
     log_spill: Optional[str] = None
     log_spill_window: Optional[int] = None
+    parallel_regions: Optional[int] = None
+    parallel_sync: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+        if self.scheduler is not None and self.scheduler not in RUN_SCHEDULERS:
             raise ValueError(
-                f"scheduler must be one of {', '.join(SCHEDULERS)} or None, "
+                f"scheduler must be one of {', '.join(RUN_SCHEDULERS)} or None, "
                 f"got {self.scheduler!r}"
+            )
+        if self.parallel_regions is not None and self.parallel_regions < 1:
+            raise ValueError(
+                f"parallel_regions must be >= 1 or None, got {self.parallel_regions}"
+            )
+        if (
+            self.parallel_sync is not None
+            and self.parallel_sync not in PARALLEL_SYNC_MODES
+        ):
+            raise ValueError(
+                f"parallel_sync must be one of {', '.join(PARALLEL_SYNC_MODES)} "
+                f"or None, got {self.parallel_sync!r}"
             )
         if self.max_no_progress_events is not None and self.max_no_progress_events < 1:
             raise ValueError(
@@ -130,9 +166,21 @@ class RunOptions:
         """A fresh timeline recorder when ``timeline`` is on, else None."""
         return TimelineRecorder() if self.timeline else None
 
+    @property
+    def kernel_scheduler(self) -> Optional[str]:
+        """The serial event-list implementation this bundle resolves to.
+
+        The ``parallel`` scheduler is a dispatch layer, not an event
+        list: each region worker (and any pipeline that cannot shard
+        its workload) runs on the calendar kernel.
+        """
+        if self.scheduler == PARALLEL_SCHEDULER:
+            return "calendar"
+        return self.scheduler
+
     def make_simulator(self, obs: Optional[MetricsRegistry] = None) -> Simulator:
         """A kernel configured with this bundle's scheduler choice."""
-        return Simulator(obs=obs, scheduler=self.scheduler)
+        return Simulator(obs=obs, scheduler=self.kernel_scheduler)
 
     def make_netlog(self, stem: str = "netlog"):
         """The activity-log collector for one run under this bundle.
@@ -182,7 +230,14 @@ class RunOptions:
     #: Fields omitted from :meth:`as_dict` when unset: they were added
     #: after sweep caches existed, and serializing their None defaults
     #: would silently re-key (invalidate) every cached cell.
-    _OPTIONAL_FIELDS = ("sample_interval", "heartbeat", "log_spill", "log_spill_window")
+    _OPTIONAL_FIELDS = (
+        "sample_interval",
+        "heartbeat",
+        "log_spill",
+        "log_spill_window",
+        "parallel_regions",
+        "parallel_sync",
+    )
 
     def as_dict(self) -> Dict[str, object]:
         return {

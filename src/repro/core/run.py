@@ -126,3 +126,66 @@ def run_synthetic(
         options=options,
     )
     return generator.generate(messages_per_source=messages_per_source, until=until)
+
+
+def run_pattern(
+    mesh_config: Optional[MeshConfig] = None,
+    pattern: str = "uniform",
+    messages_per_source: int = 100,
+    seed: int = 1234,
+    mean_gap: float = 10.0,
+    length_bytes: int = 64,
+    options: Optional[RunOptions] = None,
+    stem: str = "netlog",
+):
+    """Replay a pre-drawn pattern workload under the bundle's scheduler.
+
+    The one entry point that dispatches on ``options.scheduler ==
+    "parallel"``: the same compiled schedule
+    (:class:`~repro.simkernel.engine_parallel.ScheduleTraffic`) runs
+    either on one serial simulator or sharded across conservative
+    region workers (``parallel_regions``/``parallel_sync``), so the two
+    paths are directly comparable.  Returns a
+    :class:`~repro.simkernel.engine_parallel.SerialRunResult` or
+    :class:`~repro.simkernel.engine_parallel.ParallelRunResult`; with
+    ``log_spill`` set, both write a ``netlog-spill`` manifest there.
+    """
+    from repro.core.options import PARALLEL_SCHEDULER
+    from repro.simkernel.engine_parallel import (
+        ScheduleTraffic,
+        run_parallel_mesh,
+        run_serial_schedule,
+    )
+
+    config = mesh_config if mesh_config is not None else MeshConfig()
+    options = options if options is not None else RunOptions()
+    traffic = ScheduleTraffic.compile_pattern(
+        config,
+        pattern=pattern,
+        messages_per_source=messages_per_source,
+        seed=seed,
+        mean_gap=mean_gap,
+        length_bytes=length_bytes,
+    )
+    if options.scheduler == PARALLEL_SCHEDULER:
+        from repro.mesh.netlog_stream import DEFAULT_WINDOW
+
+        return run_parallel_mesh(
+            config,
+            traffic,
+            regions=options.parallel_regions or 2,
+            sync=options.parallel_sync or "barrier",
+            directory=options.log_spill,
+            stem=stem,
+            window=(
+                options.log_spill_window
+                if options.log_spill_window is not None
+                else DEFAULT_WINDOW
+            ),
+        )
+    return run_serial_schedule(
+        config,
+        traffic,
+        scheduler=options.kernel_scheduler,
+        log=options.make_netlog(stem),
+    )

@@ -34,6 +34,13 @@ from repro.mesh.netlog_stream import (
 )
 from repro.mesh.network import MeshNetwork
 from repro.mesh.packet import NetworkMessage
+from repro.mesh.partition import (
+    PARTITIONERS,
+    MeshPartition,
+    make_partition,
+    register_partitioner,
+    slice_partition,
+)
 from repro.mesh.patterns import (
     BitComplementTraffic,
     BitReversalTraffic,
@@ -67,8 +74,10 @@ __all__ = [
     "MeshTopology",
     "NetLogFormatError",
     "NetLogRecord",
+    "MeshPartition",
     "NetworkLog",
     "NetworkMessage",
+    "PARTITIONERS",
     "StreamingNetworkLog",
     "StreamingSummary",
     "Topology",
@@ -78,10 +87,13 @@ __all__ = [
     "UniformTraffic",
     "drive_pattern",
     "iter_segments",
+    "make_partition",
     "make_pattern",
     "make_topology",
     "materialize_manifest",
     "read_manifest",
+    "register_partitioner",
+    "slice_partition",
     "summarize_csv",
     "summarize_npz",
     "summary_from_manifest",

@@ -1,0 +1,280 @@
+"""Spatial partitioning of the 2-D mesh for parallel simulation.
+
+The conservative parallel scheduler (:mod:`repro.simkernel.engine_parallel`)
+shards one mesh simulation across worker processes, one *region* per
+worker.  A region is a contiguous band of mesh rows: with XY
+(dimension-order) routing a message moves along its source row first
+and only then along the destination column, so every route crosses a
+region boundary at most once per band edge and always on the
+destination column -- the property that makes boundary handoffs between
+regions well defined.
+
+:class:`MeshPartition` is the picklable description of one such
+sharding: per-region row bounds over a :class:`~repro.mesh.config.MeshConfig`,
+plus the id algebra (global node <-> region-local node), the per-region
+sub-mesh configs the workers instantiate, the route *legs* a message
+takes through successive regions, and the conservative protocol's
+*lookahead* -- the minimum latency any message needs to cross from one
+region into the next (head-flit routing plus one channel traversal),
+which bounds how far a region may safely advance past its neighbours.
+
+Partitioners are pluggable through :func:`register_partitioner`; the
+default ``"slice"`` partitioner cuts the row axis into bands as evenly
+as possible (empty bands when ``regions > height`` are allowed and
+simply idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.mesh.config import MeshConfig
+
+__all__ = [
+    "PARTITIONERS",
+    "MeshPartition",
+    "make_partition",
+    "register_partitioner",
+    "slice_partition",
+]
+
+
+@dataclass(frozen=True)
+class MeshPartition:
+    """Row-banded sharding of a mesh into simulation regions.
+
+    Attributes
+    ----------
+    config:
+        The full mesh being sharded.
+    bounds:
+        Per-region half-open row ranges ``(start, stop)``, in region
+        order, covering ``[0, height)`` contiguously.  ``start == stop``
+        marks an empty region (no rows; the scheduler spawns no worker
+        for it).
+
+    Frozen and built from plain values only, so a partition pickles
+    into worker processes unchanged.
+    """
+
+    config: MeshConfig
+    bounds: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        if cfg.topology != "mesh":
+            raise ValueError(
+                f"parallel regions require the mesh topology, got {cfg.topology!r} "
+                "(wraparound channels would couple non-adjacent regions)"
+            )
+        if cfg.routing != "deterministic":
+            raise ValueError(
+                "parallel regions require deterministic (XY) routing, got "
+                f"{cfg.routing!r} (adaptive choices depend on cross-region state)"
+            )
+        if not self.bounds:
+            raise ValueError("partition needs at least one region")
+        row = 0
+        for index, (start, stop) in enumerate(self.bounds):
+            if start != row or stop < start:
+                raise ValueError(
+                    f"region {index} bounds ({start}, {stop}) do not continue "
+                    f"contiguously from row {row}"
+                )
+            row = stop
+        if row != cfg.height:
+            raise ValueError(
+                f"partition bounds cover rows [0, {row}), mesh has {cfg.height}"
+            )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return len(self.bounds)
+
+    def rows(self, region: int) -> Tuple[int, int]:
+        """The half-open global row range of ``region``."""
+        return self.bounds[region]
+
+    def is_empty(self, region: int) -> bool:
+        start, stop = self.bounds[region]
+        return start == stop
+
+    def region_of_row(self, y: int) -> int:
+        """The region owning global row ``y``."""
+        if not (0 <= y < self.config.height):
+            raise ValueError(f"row {y} outside mesh of height {self.config.height}")
+        for region, (start, stop) in enumerate(self.bounds):
+            if start <= y < stop:
+                return region
+        raise AssertionError("contiguous bounds cover every row")  # pragma: no cover
+
+    def region_of(self, node: int) -> int:
+        """The region owning global node ``node``."""
+        self._check_node(node)
+        return self.region_of_row(node // self.config.width)
+
+    def nodes(self, region: int) -> List[int]:
+        """All global node ids in ``region``, ascending."""
+        start, stop = self.bounds[region]
+        width = self.config.width
+        return list(range(start * width, stop * width))
+
+    def to_local(self, region: int, node: int) -> int:
+        """Global node id -> the region sub-mesh's local id."""
+        self._check_node(node)
+        start, stop = self.bounds[region]
+        width = self.config.width
+        y = node // width
+        if not (start <= y < stop):
+            raise ValueError(f"node {node} (row {y}) is not in region {region}")
+        return node - start * width
+
+    def to_global(self, region: int, local: int) -> int:
+        """Region-local node id -> global id."""
+        start, stop = self.bounds[region]
+        width = self.config.width
+        if not (0 <= local < (stop - start) * width):
+            raise ValueError(f"local node {local} outside region {region}")
+        return local + start * width
+
+    def region_config(self, region: int) -> MeshConfig:
+        """The sub-mesh a region worker simulates: same width and
+        timing, the region's rows.  Raises for empty regions (no
+        worker runs there)."""
+        start, stop = self.bounds[region]
+        if start == stop:
+            raise ValueError(f"region {region} is empty; no sub-mesh to build")
+        cfg = self.config
+        return MeshConfig(
+            width=cfg.width,
+            height=stop - start,
+            topology=cfg.topology,
+            virtual_channels=cfg.virtual_channels,
+            routing=cfg.routing,
+            flit_bytes=cfg.flit_bytes,
+            header_flits=cfg.header_flits,
+            channel_time=cfg.channel_time,
+            routing_time=cfg.routing_time,
+            injection_time=cfg.injection_time,
+            ejection_time=cfg.ejection_time,
+        )
+
+    # ------------------------------------------------------------------
+    # conservative protocol inputs
+    # ------------------------------------------------------------------
+    def lookahead(self) -> float:
+        """Minimum latency for a message to cross between regions.
+
+        The head flit must route through and traverse the boundary
+        channel (``routing_time + channel_time``), so no region can
+        affect a neighbour sooner than this -- the conservative
+        protocol's safe advancement window.  Raises when the mesh
+        timing makes it zero (zero lookahead admits no conservative
+        parallelism at all).
+        """
+        value = self.config.routing_time + self.config.channel_time
+        if not value > 0.0:
+            raise ValueError(
+                f"conservative lookahead is {value:g} "
+                "(routing_time + channel_time); parallel simulation needs "
+                "a positive inter-region channel latency"
+            )
+        return value
+
+    def route_legs(self, src: int, dst: int) -> List[Tuple[int, int, int]]:
+        """The per-region legs of the XY route from ``src`` to ``dst``.
+
+        Returns ``(region, leg_src, leg_dst)`` triples in traversal
+        order (global ids).  A message whose endpoints share a region
+        is a single leg.  Cross-region messages exit each band at the
+        destination column (XY: the X correction happens entirely in
+        the source row) and re-enter the next band on the adjacent row
+        of the same column; the boundary channel between two legs is
+        not part of either leg -- the scheduler charges it as the
+        lookahead on the handoff.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        width = self.config.width
+        sy, dy = src // width, dst // width
+        dx = dst % width
+        first = self.region_of_row(sy)
+        if sy == dy:
+            return [(first, src, dst)]
+        step = 1 if dy > sy else -1
+        legs: List[Tuple[int, int, int]] = []
+        current, leg_src, y = first, src, sy
+        while y != dy:
+            ny = y + step
+            nr = self.region_of_row(ny)
+            if nr != current:
+                legs.append((current, leg_src, y * width + dx))
+                current, leg_src = nr, ny * width + dx
+            y = ny
+        legs.append((current, leg_src, dst))
+        return legs
+
+    def region_chain(self, src: int, dst: int) -> Tuple[int, ...]:
+        """The sequence of regions :meth:`route_legs` visits."""
+        return tuple(leg[0] for leg in self.route_legs(src, dst))
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.config.num_nodes):
+            raise ValueError(
+                f"node {node} outside mesh with {self.config.num_nodes} nodes"
+            )
+
+
+def slice_partition(config: MeshConfig, regions: int) -> MeshPartition:
+    """Cut the row axis into ``regions`` near-equal contiguous bands.
+
+    The first ``height % regions`` bands get the extra row; with more
+    regions than rows the tail bands are empty (allowed -- they idle).
+    """
+    if regions < 1:
+        raise ValueError(f"regions must be >= 1, got {regions}")
+    base, extra = divmod(config.height, regions)
+    bounds: List[Tuple[int, int]] = []
+    row = 0
+    for region in range(regions):
+        take = base + (1 if region < extra else 0)
+        bounds.append((row, row + take))
+        row += take
+    return MeshPartition(config=config, bounds=tuple(bounds))
+
+
+#: Named partitioning strategies: ``fn(config, regions) -> MeshPartition``.
+PARTITIONERS: Dict[str, Callable[[MeshConfig, int], MeshPartition]] = {
+    "slice": slice_partition,
+}
+
+
+def register_partitioner(
+    name: str, fn: Callable[[MeshConfig, int], MeshPartition]
+) -> None:
+    """Register a custom partitioning strategy under ``name``.
+
+    The callable must return a :class:`MeshPartition` (contiguous row
+    bands); re-registering an existing name replaces it.
+    """
+    if not name:
+        raise ValueError("partitioner name must be non-empty")
+    PARTITIONERS[name] = fn
+
+
+def make_partition(
+    config: MeshConfig, regions: int, partitioner: str = "slice"
+) -> MeshPartition:
+    """Build a partition with the named strategy (default ``"slice"``)."""
+    try:
+        fn = PARTITIONERS[partitioner]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; registered: "
+            + ", ".join(sorted(PARTITIONERS))
+        ) from None
+    return fn(config, regions)

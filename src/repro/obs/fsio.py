@@ -14,6 +14,24 @@ from __future__ import annotations
 import os
 import tempfile
 
+# ``mkstemp`` creates its file 0600 regardless of the process umask —
+# correct for private temp files, wrong for a published artifact that
+# other users/service workers must be able to read.  Capture the umask
+# once (reading it requires setting it, which is racy per-call in a
+# threaded process) and widen each temp file to the mode a plain
+# ``open`` would have produced before it is replaced into place.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+_ARTIFACT_MODE = 0o666 & ~_UMASK
+
+
+def restore_artifact_mode(fd: int) -> None:
+    """Widen an ``mkstemp`` file to the umask-honoring artifact mode."""
+    try:
+        os.fchmod(fd, _ARTIFACT_MODE)
+    except (AttributeError, NotImplementedError, OSError):  # pragma: no cover
+        pass  # platforms without fchmod keep mkstemp's conservative 0600
+
 
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (same-directory temp file
@@ -24,6 +42,7 @@ def atomic_write_text(path: str, text: str) -> None:
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
+        restore_artifact_mode(fd)
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
         os.replace(tmp_path, path)

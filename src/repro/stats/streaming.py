@@ -296,8 +296,15 @@ class P2Quantile:
         return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
 
     def value(self) -> float:
-        """Current quantile estimate (NaN before any observation)."""
-        if self._heights:
+        """Current quantile estimate (NaN before any observation).
+
+        Exact while the sample is small: until a sixth observation has
+        actually adjusted the markers (count <= 5), the estimate is the
+        exact quantile of the retained observations — freshly seeded
+        markers would otherwise report the median height for every
+        ``q``.
+        """
+        if self._heights and self.count > 5:
             return self._heights[2]
         if not self._initial:
             return math.nan

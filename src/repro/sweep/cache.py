@@ -31,9 +31,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import repro
+from repro.obs.fsio import restore_artifact_mode
 from repro.sweep.grid import canonical_json
 
 _FINGERPRINT: Optional[str] = None
+
+#: Minimum age before :meth:`ResultCache.gc` treats a ``*.tmp`` file as
+#: an orphan from a crashed mid-write rather than an in-flight publish.
+TMP_GRACE_SECONDS = 60.0
 
 
 def code_fingerprint() -> str:
@@ -108,6 +113,9 @@ class ResultCache:
                 continue
             break
         try:
+            # mkstemp's 0600 would make a cache written by one service
+            # worker unreadable by its siblings; honor the umask.
+            restore_artifact_mode(fd)
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp_path, path)
@@ -231,6 +239,46 @@ class ResultCache:
     def total_bytes(self) -> int:
         return sum(entry.bytes for entry in self.entries())
 
+    def tmp_orphans(self, now: float, grace: float = TMP_GRACE_SECONDS) -> List["CacheEntry"]:
+        """Stray ``*.tmp`` files older than ``grace`` seconds.
+
+        A crash between ``mkstemp`` and ``os.replace`` leaves its temp
+        file behind forever — it is never an entry, so age/size
+        eviction cannot reach it.  Anything younger than ``grace`` is
+        presumed to be an in-flight publish and left alone.
+        """
+        orphans: List[CacheEntry] = []
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                if now - stat.st_mtime <= grace:
+                    continue
+                orphans.append(
+                    CacheEntry(
+                        key=os.path.splitext(name)[0],
+                        path=path,
+                        kind="tmp",
+                        bytes=int(stat.st_size),
+                        mtime=float(stat.st_mtime),
+                        reason="tmp",
+                    )
+                )
+        orphans.sort(key=lambda e: (e.mtime, e.key))
+        return orphans
+
     def gc(
         self,
         max_age_seconds: Optional[float] = None,
@@ -242,6 +290,8 @@ class ResultCache:
 
         Policy, in order:
 
+        0. orphaned ``*.tmp`` files (crashed mid-write, older than
+           :data:`TMP_GRACE_SECONDS`) are always reaped;
         1. every entry older than ``max_age_seconds`` is evicted;
         2. if the survivors still exceed ``max_bytes``, the oldest are
            evicted (LRU by mtime — :meth:`put` rewrites *and*
@@ -256,7 +306,7 @@ class ResultCache:
         if now is None:
             now = time.time()
         entries = self.entries()
-        evict: List[CacheEntry] = []
+        evict: List[CacheEntry] = list(self.tmp_orphans(now))
         kept: List[CacheEntry] = []
         for entry in entries:
             if max_age_seconds is not None and now - entry.mtime > max_age_seconds:
@@ -302,10 +352,11 @@ class CacheEntry:
 
     key: str
     path: str
-    kind: str  # "json" | "pkl"
+    kind: str  # "json" | "pkl" | "tmp"
     bytes: int
     mtime: float
-    #: Set by :meth:`ResultCache.gc` on eviction victims: "age" | "size".
+    #: Set by :meth:`ResultCache.gc` on eviction victims:
+    #: "age" | "size" | "tmp".
     reason: Optional[str] = None
 
 

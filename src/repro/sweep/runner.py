@@ -108,13 +108,27 @@ def _invoke(
 
     if not timeout or not hasattr(signal, "SIGALRM"):
         return call()
-    previous = signal.signal(signal.SIGALRM, _raise_timeout)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    if threading.current_thread() is not threading.main_thread():
+        # signal.signal/setitimer raise ValueError off the main thread
+        # (embedders run cells on worker threads); fall back to no
+        # in-worker enforcement — the supervisor deadline still applies.
+        return call()
+    previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+    armed_at = time.monotonic()
+    prev_delay, prev_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return call()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prev_delay:
+            # Re-arm whatever itimer our caller had running rather than
+            # silently zeroing it; if it expired while ours was armed,
+            # fire it (almost) immediately under the restored handler.
+            remaining = prev_delay - (time.monotonic() - armed_at)
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )
 
 
 def execute_cell(

@@ -503,6 +503,25 @@ class TestP2Quantile:
             est.observe(x)
         assert est.value() == 3.0  # exact while buffering < 5 samples
 
+    @pytest.mark.parametrize("q", [0.5, 0.9])
+    @pytest.mark.parametrize("n", range(7))
+    def test_every_small_sample_size_n0_to_n6(self, q, n):
+        # Regression: value() used to interpolate the P2 markers even
+        # while the estimator was still buffering its first samples,
+        # returning garbage for n <= 5.  Exact up to the marker
+        # threshold; once the markers take over (n > 5) the estimate
+        # must at least stay inside the observed range.
+        values = [float(v) for v in (7, 2, 9, 4, 1, 6)[:n]]
+        est = P2Quantile(q)
+        for x in values:
+            est.observe(x)
+        if n == 0:
+            assert np.isnan(est.value())
+        elif n <= 5:
+            assert est.value() == float(np.quantile(values, q))
+        else:
+            assert min(values) <= est.value() <= max(values)
+
     def test_empty_is_nan(self):
         assert np.isnan(P2Quantile(0.5).value())
 

@@ -197,3 +197,58 @@ class TestGcCli:
         assert rc == 0
         assert "evicted 0" in capsys.readouterr().out
         assert cache.has(keys[0])
+
+
+class TestTmpOrphans:
+    def make_orphan(self, cache, key, age_seconds, now=NOW):
+        shard = os.path.dirname(cache._path(key, ".json"))
+        os.makedirs(shard, exist_ok=True)
+        path = os.path.join(shard, "deadbeef.tmp")
+        with open(path, "w") as handle:
+            handle.write("half-written")
+        os.utime(path, (now - age_seconds,) * 2)
+        return path
+
+    def test_stale_tmp_files_are_listed_and_reaped(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        path = self.make_orphan(cache, keys[0], age_seconds=3600.0)
+        orphans = cache.tmp_orphans(now=NOW)
+        assert [o.path for o in orphans] == [path]
+        assert orphans[0].reason == "tmp"
+        report = cache.gc(max_age_seconds=365 * DAY, now=NOW)
+        assert [e.reason for e in report.evicted] == ["tmp"]
+        assert not os.path.exists(path)
+        assert cache.has(keys[0])  # the real entry is untouched
+
+    def test_in_flight_tmp_files_survive_the_grace_window(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        path = self.make_orphan(cache, keys[0], age_seconds=1.0)
+        assert cache.tmp_orphans(now=NOW) == []
+        cache.gc(max_age_seconds=365 * DAY, now=NOW)
+        assert os.path.exists(path)  # presumed in-flight, left alone
+
+    def test_dry_run_reports_but_keeps_orphans(self, tmp_path):
+        cache, keys = make_cache(tmp_path, n=1)
+        path = self.make_orphan(cache, keys[0], age_seconds=3600.0)
+        report = cache.gc(max_age_seconds=365 * DAY, dry_run=True, now=NOW)
+        assert [e.reason for e in report.evicted] == ["tmp"]
+        assert os.path.exists(path)
+
+
+class TestArtifactMode:
+    def test_published_entries_honor_the_umask(self, tmp_path):
+        # Regression: mkstemp creates 0600 files and os.replace keeps
+        # that mode, so published cache entries were unreadable by any
+        # other user regardless of the umask.
+        from repro.obs.fsio import _ARTIFACT_MODE
+
+        cache, keys = make_cache(tmp_path, n=1)
+        mode = os.stat(cache._path(keys[0], ".json")).st_mode & 0o777
+        assert mode == _ARTIFACT_MODE
+
+    def test_atomic_write_text_honors_the_umask(self, tmp_path):
+        from repro.obs.fsio import _ARTIFACT_MODE, atomic_write_text
+
+        path = str(tmp_path / "artifact.json")
+        atomic_write_text(path, "{}")
+        assert os.stat(path).st_mode & 0o777 == _ARTIFACT_MODE

@@ -281,3 +281,65 @@ class TestSweepCLI:
             "sweep", "run", "--app", "1d-fft", "--param", "mg:n=8",
         ])
         assert code == 2
+
+
+class TestInvoke:
+    """The per-cell SIGALRM timeout seam (``runner._invoke``)."""
+
+    def test_timeout_raises_cell_timeout(self):
+        from repro.sweep.runner import CellTimeoutError, _invoke
+
+        def slow(doc):
+            time.sleep(5.0)
+            return doc
+
+        with pytest.raises(CellTimeoutError):
+            _invoke(slow, {"cell": 1}, timeout=0.05)
+
+    def test_no_timeout_runs_plain(self):
+        from repro.sweep.runner import _invoke
+
+        assert _invoke(_ok_cell, tiny_grid().expand()[0].as_dict(), None)
+
+    def test_off_main_thread_falls_back_to_no_enforcement(self):
+        # Regression: signal.signal/setitimer raise ValueError off the
+        # main thread, so embedders running cells on worker threads
+        # crashed instead of deferring to the supervisor deadline.
+        import threading
+
+        from repro.sweep.runner import _invoke
+
+        doc = tiny_grid().expand()[0].as_dict()
+        results = {}
+
+        def target():
+            try:
+                results["report"] = _invoke(_ok_cell, doc, timeout=0.001)
+            except BaseException as error:  # pragma: no cover
+                results["error"] = error
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join()
+        assert "error" not in results
+        assert results["report"]["app"] == doc["app"]
+
+    def test_restores_the_callers_itimer(self):
+        # Regression: _invoke used to zero ITIMER_REAL on exit, silently
+        # disarming any timeout the *caller* had running.
+        import signal
+
+        from repro.sweep.runner import _invoke
+
+        fired = []
+        previous = signal.signal(signal.SIGALRM, lambda s, f: fired.append(s))
+        signal.setitimer(signal.ITIMER_REAL, 60.0)
+        try:
+            _invoke(_ok_cell, tiny_grid().expand()[0].as_dict(), timeout=30.0)
+            remaining, _ = signal.setitimer(signal.ITIMER_REAL, 0.0)
+            assert 0.0 < remaining <= 60.0
+            assert signal.getsignal(signal.SIGALRM) is not signal.SIG_DFL
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        assert fired == []
