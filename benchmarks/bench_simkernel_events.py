@@ -118,7 +118,7 @@ def run_kernel_workload(scheduler, messages, pairs):
 def run_mesh_log(scheduler, messages_per_source):
     """A clean 4x4 mesh run; returns its sealed NetworkLog."""
     sim = Simulator(scheduler=scheduler)
-    net = MeshNetwork(sim, MeshConfig(width=4, height=4))
+    net = MeshNetwork(sim, MeshConfig(spec="4x4"))
     nodes = 16
 
     def source(src):
@@ -201,6 +201,61 @@ def run_parallel_bench(args):
     return 0
 
 
+def run_topology_bench(args):
+    """N-D topology routing overhead vs the 2-D mesh baseline.
+
+    Replays the same uniform workload (equal node count, equal message
+    count) through the 2-D baseline mesh and each ``--topology`` spec,
+    and reports serial event throughput.  The generalized N-D router is
+    on the per-hop hot path, so ``--check`` gates every topology at
+    ``--min-ratio`` times the baseline events/sec (node counts must
+    match the baseline, otherwise the comparison is meaningless).
+    """
+    from repro.mesh.spec import TopologySpec
+    from repro.simkernel.engine_parallel import ScheduleTraffic, run_serial_schedule
+
+    baseline_spec = TopologySpec.parse(args.baseline_mesh)
+    specs = [TopologySpec.parse(text) for text in (args.topology or ["4x4x4:mesh"])]
+    for spec in specs:
+        if spec.num_nodes != baseline_spec.num_nodes:
+            print(f"FAIL: {spec.canonical()} has {spec.num_nodes} nodes, "
+                  f"baseline {baseline_spec.canonical()} has "
+                  f"{baseline_spec.num_nodes}; equal node counts required")
+            return 1
+
+    def throughput(spec):
+        config = MeshConfig.from_spec(spec)
+        traffic = ScheduleTraffic.compile_pattern(
+            config,
+            pattern="uniform",
+            messages_per_source=args.parallel_messages,
+            seed=1234,
+        )
+        best, events = float("inf"), 0
+        for _ in range(args.iterations):
+            started = time.perf_counter()
+            result = run_serial_schedule(config, traffic, scheduler="calendar")
+            best = min(best, time.perf_counter() - started)
+            events = result.events_fired
+        return events / best
+
+    print(f"topology workload: {baseline_spec.num_nodes} nodes, "
+          f"{args.parallel_messages} uniform messages/source ...")
+    base_rate = throughput(baseline_spec)
+    print(f"{'topology':>20} {'events/sec':>12} {'vs 2-D':>8}")
+    print(f"{baseline_spec.canonical():>20} {base_rate:>12,.0f} {'1.00x':>8}")
+    failed = False
+    for spec in specs:
+        rate = throughput(spec)
+        ratio = rate / base_rate
+        print(f"{spec.canonical():>20} {rate:>12,.0f} {ratio:>7.2f}x")
+        if args.check and ratio < args.min_ratio:
+            print(f"FAIL: {spec.canonical()} throughput is {ratio:.2f}x the "
+                  f"2-D baseline, below required {args.min_ratio}x")
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--messages", type=int, default=100_000)
@@ -213,21 +268,35 @@ def main(argv=None):
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless calendar beats heap by --min-speedup")
     parser.add_argument("--min-speedup", type=float, default=2.0)
-    parser.add_argument("--scheduler", choices=("kernel", "parallel"),
+    parser.add_argument("--scheduler", choices=("kernel", "parallel", "topology"),
                         default="kernel",
                         help="kernel: calendar vs heap event throughput "
                              "(the default); parallel: serial calendar vs "
-                             "the conservative multi-process mesh scheduler")
+                             "the conservative multi-process mesh scheduler; "
+                             "topology: N-D routing overhead vs the 2-D mesh")
     parser.add_argument("--regions", type=int, default=4,
                         help="region workers for --scheduler parallel")
     parser.add_argument("--parallel-mesh", default="16x16",
                         help="mesh for --scheduler parallel (default 16x16)")
     parser.add_argument("--parallel-messages", type=int, default=300,
-                        help="messages per source for --scheduler parallel")
+                        help="messages per source for --scheduler parallel "
+                             "and --scheduler topology")
+    parser.add_argument("--topology", action="append", default=[],
+                        help="N-D topology spec(s) for --scheduler topology "
+                             "(repeatable; default 4x4x4:mesh); node count "
+                             "must equal --baseline-mesh")
+    parser.add_argument("--baseline-mesh", default="8x8",
+                        help="2-D baseline for --scheduler topology "
+                             "(default 8x8)")
+    parser.add_argument("--min-ratio", type=float, default=0.9,
+                        help="minimum N-D/2-D events-per-second ratio for "
+                             "--scheduler topology --check (default 0.9)")
     args = parser.parse_args(argv)
 
     if args.scheduler == "parallel":
         return run_parallel_bench(args)
+    if args.scheduler == "topology":
+        return run_topology_bench(args)
 
     print(f"kernel workload: {args.messages} messages over {args.pairs} "
           f"sender/consumer pairs ...")

@@ -299,8 +299,11 @@ def _grid_from_args(args: argparse.Namespace):
                 overrides["sample_interval"] = cli_options.sample_interval
             grid = replace(grid, options=base.with_(**overrides))
         return grid
-    if not args.app:
-        raise ValueError("sweep needs --grid FILE or at least one --app")
+    patterns = getattr(args, "pattern", None) or ()
+    if not args.app and not patterns:
+        raise ValueError(
+            "sweep needs --grid FILE or at least one --app or --pattern"
+        )
     app_params: Dict[str, Dict[str, object]] = {}
     for entry in args.param:
         scope = None
@@ -329,6 +332,7 @@ def _grid_from_args(args: argparse.Namespace):
         seeds=args.seed or (0,),
         messages_per_source=args.messages,
         options=cli_options,
+        patterns=patterns,
     )
 
 
@@ -694,7 +698,7 @@ def cmd_drive(args: argparse.Namespace) -> int:
         length_bytes=args.length,
         options=options,
     )
-    print(f"mesh {mesh.width}x{mesh.height}, pattern {args.pattern}, "
+    print(f"mesh {mesh.spec.canonical()}, pattern {args.pattern}, "
           f"scheduler {args.scheduler or 'calendar'}")
     if isinstance(result, ParallelRunResult):
         print(f"  regions {result.regions} (active {len(result.active_regions)}), "
@@ -750,7 +754,11 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument(
         "--param", action="append", default=[], help="application parameter key=value"
     )
-    characterize.add_argument("--mesh", default="4x2", help="WxH[:topology] (default 4x2)")
+    characterize.add_argument(
+        "--mesh", default="4x2",
+        help="topology spec: WxH[xD...][:kind][:axis=scale,...] or "
+             "chiplet(WxH,hubs=N) (default 4x2)",
+    )
     characterize.add_argument(
         "--log-csv", default=None,
         help="write the activity log here (.csv or .csv.gz)",
@@ -825,12 +833,19 @@ def build_parser() -> argparse.ArgumentParser:
         "drive",
         help="replay a pre-drawn pattern workload (serial or parallel mesh)",
     )
-    drive.add_argument("--mesh", default="8x8", help="WxH[:topology] (default 8x8)")
     drive.add_argument(
-        "--pattern", choices=("local", "uniform"), default="uniform",
-        help="traffic pattern: local stays within each source's row "
-             "(never crosses region boundaries), uniform spreads over "
-             "every other node",
+        "--mesh", default="8x8",
+        help="topology spec: WxH[xD...][:kind][:axis=scale,...] or "
+             "chiplet(WxH,hubs=N) (default 8x8)",
+    )
+    from repro.simkernel.engine_parallel import schedule_pattern_names
+
+    drive.add_argument(
+        "--pattern", choices=schedule_pattern_names(), default="uniform",
+        help="traffic pattern: local stays within each source's "
+             "highest-dimension layer, uniform spreads over every other "
+             "node, the rest are the registered synthetic patterns "
+             "(tornado, transpose, hotspot, ...)",
     )
     drive.add_argument("--messages", type=int, default=100, metavar="N",
                        help="messages per source (default 100)")
@@ -891,7 +906,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--mesh", action="append", default=[],
-            help="mesh axis, WxH[:topology] (repeatable; default 4x2)",
+            help="mesh axis, topology spec WxH[xD...][:kind][:axis=scale,...] "
+                 "or chiplet(WxH,hubs=N) (repeatable; default 4x2)",
+        )
+        p.add_argument(
+            "--pattern", action="append", default=[],
+            help="synthetic traffic pattern axis (repeatable); each "
+                 "pattern becomes cells driven directly on every mesh, "
+                 "no application characterization",
         )
         p.add_argument(
             "--protocol", action="append", default=[],

@@ -1,4 +1,4 @@
-"""2-D mesh, wormhole-routed interconnection network simulator.
+"""Wormhole-routed interconnection network simulator.
 
 This package reproduces the paper's network simulator: a process
 oriented simulator of a 2-D mesh with wormhole routing, written against
@@ -6,17 +6,27 @@ the CSIM-like kernel in :mod:`repro.simkernel`.  "Inputs to the
 simulator are messages defined by their source, destination, length and
 time since the last network activity at the source.  The output is the
 network latency and contention incurred by the message and overall
-utilization of the different network resources."
+utilization of the different network resources."  Beyond the paper's
+2-D mesh, :class:`~repro.mesh.spec.TopologySpec` describes N-D
+meshes/tori with per-dimension link scales, hypercubes and chiplet-hub
+hierarchies behind the same simulator.
 
 Public surface:
 
-* :class:`~repro.mesh.config.MeshConfig` -- geometry and timing knobs.
-* :class:`~repro.mesh.topology.MeshTopology` -- node/coordinate algebra.
+* :class:`~repro.mesh.spec.TopologySpec` -- frozen, serializable
+  topology description with the canonical spec grammar and the
+  :func:`~repro.mesh.spec.register_topology` plugin registry.
+* :class:`~repro.mesh.config.MeshConfig` -- a spec plus timing knobs.
+* :class:`~repro.mesh.topology.MeshTopology` (and the N-D/hierarchical
+  classes) -- node/coordinate algebra and routing.
 * :func:`~repro.mesh.routing.xy_route` -- dimension-order routing.
 * :class:`~repro.mesh.packet.NetworkMessage` -- a message in flight.
 * :class:`~repro.mesh.network.MeshNetwork` -- the simulator proper.
 * :class:`~repro.mesh.netlog.NetworkLog` -- the activity log analyzed by
   the statistics package.
+* :func:`~repro.mesh.patterns.make_pattern` and
+  :func:`~repro.mesh.patterns.register_pattern` -- synthetic/adversarial
+  traffic patterns.
 """
 
 from repro.mesh.config import MeshConfig
@@ -42,20 +52,37 @@ from repro.mesh.partition import (
     slice_partition,
 )
 from repro.mesh.patterns import (
+    PATTERNS,
     BitComplementTraffic,
     BitReversalTraffic,
     HotspotTraffic,
+    NeighborTraffic,
+    ShuffleTraffic,
+    TornadoTraffic,
     TrafficPattern,
     TransposeTraffic,
     UniformTraffic,
     drive_pattern,
     make_pattern,
+    pattern_for_config,
+    register_pattern,
+    registered_patterns,
 )
 from repro.mesh.routing import xy_route
+from repro.mesh.spec import (
+    TOPOLOGIES,
+    TopologySpec,
+    TopologySpecError,
+    build_topology,
+    register_topology,
+    registered_topologies,
+)
 from repro.mesh.topology import (
+    ChipletTopology,
     Hop,
     HypercubeTopology,
     MeshTopology,
+    NDMeshTopology,
     Topology,
     TorusTopology,
     make_topology,
@@ -64,6 +91,7 @@ from repro.mesh.topology import (
 __all__ = [
     "BitComplementTraffic",
     "BitReversalTraffic",
+    "ChipletTopology",
     "DEFAULT_WINDOW",
     "Hop",
     "HotspotTraffic",
@@ -72,27 +100,41 @@ __all__ = [
     "MeshConfig",
     "MeshNetwork",
     "MeshTopology",
+    "NDMeshTopology",
+    "NeighborTraffic",
     "NetLogFormatError",
     "NetLogRecord",
     "MeshPartition",
     "NetworkLog",
     "NetworkMessage",
     "PARTITIONERS",
+    "PATTERNS",
+    "ShuffleTraffic",
     "StreamingNetworkLog",
     "StreamingSummary",
+    "TOPOLOGIES",
     "Topology",
+    "TopologySpec",
+    "TopologySpecError",
+    "TornadoTraffic",
     "TorusTopology",
     "TrafficPattern",
     "TransposeTraffic",
     "UniformTraffic",
+    "build_topology",
     "drive_pattern",
     "iter_segments",
     "make_partition",
     "make_pattern",
     "make_topology",
     "materialize_manifest",
+    "pattern_for_config",
     "read_manifest",
     "register_partitioner",
+    "register_pattern",
+    "register_topology",
+    "registered_patterns",
+    "registered_topologies",
     "slice_partition",
     "summarize_csv",
     "summarize_npz",

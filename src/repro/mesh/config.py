@@ -1,13 +1,42 @@
-"""Configuration of the 2-D mesh network simulator."""
+"""Configuration of the simulated network: a TopologySpec plus timing.
+
+:class:`MeshConfig` is the value every simulator layer consumes.  Since
+the :class:`~repro.mesh.spec.TopologySpec` redesign it is a thin facade
+over a spec: geometry lives in ``config.spec`` (any N-D or hierarchical
+topology), timing and wormhole parameters live here.  The legacy 2-D
+``width=``/``height=``/``topology=`` keyword arguments still work as a
+compatibility shim (one :class:`DeprecationWarning` per process), and
+``width``/``height``/``topology`` remain readable properties so
+existing consumers keep working unchanged.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.mesh.spec import TopologySpec
+
+_LEGACY_GEOMETRY_MESSAGE = (
+    "MeshConfig(width=, height=, topology=) is deprecated; pass "
+    "spec=TopologySpec(...) or use MeshConfig.parse('WxH[:kind]') / "
+    "MeshConfig.from_spec(...)"
+)
+_legacy_geometry_warned = False
 
 
-@dataclass(frozen=True)
+def _warn_legacy_geometry() -> None:
+    """Warn about width=/height=/topology= once per process."""
+    global _legacy_geometry_warned
+    if not _legacy_geometry_warned:
+        _legacy_geometry_warned = True
+        warnings.warn(_LEGACY_GEOMETRY_MESSAGE, DeprecationWarning, stacklevel=4)
+
+
+@dataclass(frozen=True, init=False)
 class MeshConfig:
-    """Geometry and timing parameters of the simulated mesh.
+    """Geometry and timing parameters of the simulated network.
 
     Times are in the simulator's abstract time unit; the paper's
     experiments use processor cycles for the dynamic strategy and
@@ -16,29 +45,32 @@ class MeshConfig:
 
     Attributes
     ----------
-    width, height:
-        Network dimensions; ``width * height`` nodes.
-    topology:
-        ``"mesh"`` (the paper's network), ``"torus"`` or ``"hypercube"``
-        (extensions; hypercube needs a power-of-two node count).
+    spec:
+        The :class:`~repro.mesh.spec.TopologySpec` describing the
+        network graph (kind, N-D dims, wrap flags, link scales,
+        hierarchy blocks).  Accepts a spec string (``"4x4x2:torus"``)
+        which is parsed with :meth:`TopologySpec.parse`.
     virtual_channels:
         Virtual channels multiplexed on each physical channel.  The
-        torus' dateline routing needs at least 2.  Modeled as
-        independent lanes at full channel bandwidth each -- an
-        optimistic approximation that captures the head-of-line
-        -blocking relief VCs provide (see DESIGN.md ablations).
+        torus' dateline routing and the chiplet's up/down routing need
+        at least 2.  Modeled as independent lanes at full channel
+        bandwidth each -- an optimistic approximation that captures the
+        head-of-line-blocking relief VCs provide (see DESIGN.md
+        ablations).
     routing:
-        ``"deterministic"`` (XY / shortest-ring / e-cube per topology)
-        or ``"adaptive"`` (mesh only, needs 2 virtual channels): the
-        head flit picks XY or YX per message based on which first
-        channel is free; each order rides its own VC class, so both
-        sub-networks stay deadlock-free.
+        ``"deterministic"`` (dimension-order / shortest-ring / e-cube /
+        up-down per topology) or ``"adaptive"`` (2-D mesh only, needs 2
+        virtual channels): the head flit picks XY or YX per message
+        based on which first channel is free; each order rides its own
+        VC class, so both sub-networks stay deadlock-free.
     flit_bytes:
         Payload bytes carried per flit (channel word).
     header_flits:
         Flits of header prepended to every message.
     channel_time:
-        Time for one flit to cross one physical channel.
+        Time for one flit to cross one nominal physical channel (a
+        link's spec-level ``scale`` multiplies this for its head-flit
+        traversals).
     routing_time:
         Per-hop routing/arbitration delay incurred by the head flit.
     injection_time:
@@ -48,9 +80,7 @@ class MeshConfig:
         Destination-side NI overhead per message.
     """
 
-    width: int = 4
-    height: int = 2
-    topology: str = "mesh"
+    spec: TopologySpec = TopologySpec()
     virtual_channels: int = 1
     routing: str = "deterministic"
     flit_bytes: int = 8
@@ -60,15 +90,65 @@ class MeshConfig:
     injection_time: float = 1.0
     ejection_time: float = 1.0
 
-    def __post_init__(self) -> None:
-        if self.width < 1 or self.height < 1:
-            raise ValueError(f"mesh must be at least 1x1, got {self.width}x{self.height}")
-        # Validates the name and (for hypercube) the node count, and
-        # lets the routing discipline demand virtual channels.
-        topology = self.make_topology()
-        if self.virtual_channels < topology.required_vclasses:
+    def __init__(
+        self,
+        spec: Optional[Union[TopologySpec, str]] = None,
+        *,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+        topology: Optional[str] = None,
+        virtual_channels: int = 1,
+        routing: str = "deterministic",
+        flit_bytes: int = 8,
+        header_flits: int = 1,
+        channel_time: float = 1.0,
+        routing_time: float = 1.0,
+        injection_time: float = 1.0,
+        ejection_time: float = 1.0,
+    ) -> None:
+        if width is not None or height is not None or topology is not None:
+            if spec is not None:
+                raise ValueError(
+                    "pass spec= or the legacy width=/height=/topology= "
+                    "keywords, not both"
+                )
+            _warn_legacy_geometry()
+            legacy_width = 4 if width is None else width
+            legacy_height = 2 if height is None else height
+            if legacy_width < 1 or legacy_height < 1:
+                raise ValueError(
+                    f"mesh must be at least 1x1, got {legacy_width}x{legacy_height}"
+                )
+            spec = TopologySpec(
+                kind=topology if topology is not None else "mesh",
+                dims=(legacy_width, legacy_height),
+            )
+        elif spec is None:
+            spec = TopologySpec()
+        elif isinstance(spec, str):
+            spec = TopologySpec.parse(spec)
+        elif not isinstance(spec, TopologySpec):
+            raise TypeError(
+                f"spec must be a TopologySpec or spec string, got {type(spec).__name__}"
+            )
+        object.__setattr__(self, "spec", spec)
+        object.__setattr__(self, "virtual_channels", virtual_channels)
+        object.__setattr__(self, "routing", routing)
+        object.__setattr__(self, "flit_bytes", flit_bytes)
+        object.__setattr__(self, "header_flits", header_flits)
+        object.__setattr__(self, "channel_time", channel_time)
+        object.__setattr__(self, "routing_time", routing_time)
+        object.__setattr__(self, "injection_time", injection_time)
+        object.__setattr__(self, "ejection_time", ejection_time)
+        self._validate()
+
+    def _validate(self) -> None:
+        # Validates the spec kind and (for hypercube) the node count,
+        # and lets the routing discipline demand virtual channels.
+        built = self.make_topology()
+        if self.virtual_channels < built.required_vclasses:
             raise ValueError(
-                f"{self.topology} routing needs >= {topology.required_vclasses} "
+                f"{self.topology} routing needs >= {built.required_vclasses} "
                 f"virtual channels, got {self.virtual_channels}"
             )
         if self.routing not in ("deterministic", "adaptive"):
@@ -76,7 +156,7 @@ class MeshConfig:
                 f"routing must be 'deterministic' or 'adaptive', got {self.routing!r}"
             )
         if self.routing == "adaptive":
-            if self.topology != "mesh":
+            if self.topology != "mesh" or len(self.spec.dims) != 2 or self.spec.wraps:
                 raise ValueError("adaptive routing is only supported on the mesh")
             if self.virtual_channels < 2:
                 raise ValueError(
@@ -92,48 +172,65 @@ class MeshConfig:
                 raise ValueError(f"{field_name} must be >= 0")
 
     @classmethod
-    def parse(cls, spec: str) -> "MeshConfig":
-        """Parse a ``"WxH[:topology]"`` spec (e.g. ``"4x2"``, ``"4x4:torus"``).
+    def from_spec(
+        cls,
+        spec: Union[TopologySpec, str],
+        virtual_channels: Optional[int] = None,
+        **timing: float,
+    ) -> "MeshConfig":
+        """A config for ``spec`` with the VCs its routing needs.
 
-        The torus gets the 2 virtual channels its dateline routing
-        needs.  Malformed specs, non-positive dimensions and unknown
-        topology suffixes are rejected here with a spec-level message
-        instead of surfacing as a constructor error.
+        ``virtual_channels=None`` (the default) asks the built topology
+        for its ``required_vclasses``; ``timing`` passes through any of
+        the wormhole/timing keywords.
         """
-        text = spec.strip().lower()
-        topology = "mesh"
-        if ":" in text:
-            text, topology = text.split(":", 1)
-        if topology not in ("mesh", "torus", "hypercube"):
-            raise ValueError(
-                f"unknown topology {topology!r} in mesh spec {spec!r}; "
-                "choose mesh, torus or hypercube"
-            )
-        try:
-            width_text, height_text = text.split("x")
-            width, height = int(width_text), int(height_text)
-        except ValueError:
-            raise ValueError(
-                f"mesh spec expects WxH[:topology] (e.g. 4x2 or 4x4:torus), "
-                f"got {spec!r}"
-            ) from None
-        if width < 1 or height < 1:
-            raise ValueError(
-                f"mesh dimensions must be positive, got {spec!r}"
-            )
-        vcs = 2 if topology == "torus" else 1
-        return cls(width=width, height=height, topology=topology, virtual_channels=vcs)
+        if isinstance(spec, str):
+            spec = TopologySpec.parse(spec)
+        if virtual_channels is None:
+            virtual_channels = spec.build().required_vclasses
+        return cls(spec=spec, virtual_channels=virtual_channels, **timing)
+
+    @classmethod
+    def parse(cls, spec: str) -> "MeshConfig":
+        """Parse a topology spec string into a config.
+
+        Accepts the full :meth:`TopologySpec.parse` grammar (``"4x2"``,
+        ``"4x4x2:torus"``, ``"8x8x4:mesh:z=4.0"``,
+        ``"chiplet(4x4,hubs=2)"``) and grants the topology the virtual
+        channels its routing discipline requires.  Malformed specs,
+        non-positive dimensions and unknown topology kinds are rejected
+        with the same spec-level :class:`TopologySpecError` every entry
+        point sees.
+        """
+        return cls.from_spec(TopologySpec.parse(spec))
+
+    # ------------------------------------------------------------------
+    # Legacy geometry views
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Fastest-varying dimension (the 2-D width)."""
+        return self.spec.dims[0]
+
+    @property
+    def height(self) -> int:
+        """All remaining geometry: ``num_nodes // width`` (the 2-D height)."""
+        return self.num_nodes // self.spec.dims[0]
+
+    @property
+    def topology(self) -> str:
+        """The spec's topology kind (legacy name)."""
+        return self.spec.kind
 
     @property
     def num_nodes(self) -> int:
         """Total node count of the network."""
-        return self.width * self.height
+        return self.spec.num_nodes
 
     def make_topology(self):
         """Instantiate the configured :class:`~repro.mesh.topology.Topology`."""
-        from repro.mesh.topology import make_topology
-
-        return make_topology(self.topology, self.width, self.height)
+        return self.spec.build()
 
     def flits_for(self, length_bytes: int) -> int:
         """Number of flits (header + payload) for a message of
@@ -148,7 +245,9 @@ class MeshConfig:
 
         ``hops * (routing + channel)`` for the head flit plus one
         channel time per remaining flit (pipelined body), plus NI
-        injection/ejection overheads.
+        injection/ejection overheads.  Uses nominal channel time; a
+        scaled link adds ``(scale - 1) * channel_time`` per traversal
+        on top of this.
         """
         if hops < 0:
             raise ValueError(f"hops must be >= 0, got {hops}")

@@ -224,7 +224,10 @@ class MeshNetwork:
                 if timeline_on:
                     channel_spans.append(((hop.src, hop.dst), self.simulator.now))
                 acquired.append(channel)
-                yield hold(cfg.routing_time + cfg.channel_time)
+                # hop.scale carries the spec's per-dimension link-scale
+                # (TSV-style slow links); 1.0 leaves the float math
+                # bit-identical to the unscaled formula.
+                yield hold(cfg.routing_time + cfg.channel_time * hop.scale)
 
             # Destination NI.
             ej = self._ejection[message.dst]
@@ -394,7 +397,7 @@ class MeshNetwork:
             if not xy_first.is_free and yx_first.is_free:
                 chosen, lane = yx, 1
                 self.adaptive_yx_taken += 1
-        return [Hop(h.src, h.dst, lane) for h in chosen]
+        return [Hop(h.src, h.dst, lane, h.scale) for h in chosen]
 
     # ------------------------------------------------------------------
     # delivery + stats

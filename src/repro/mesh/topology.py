@@ -1,23 +1,34 @@
-"""Network topologies: 2-D mesh (the paper's), 2-D torus, hypercube.
+"""Network topologies: N-D meshes/tori, hypercube, chiplet hierarchies.
 
 The paper's simulator is a 2-D mesh; its related work evaluates tori
 with virtual channels (Kumar & Bhuyan) and hypercubes (Kim & Das; Hsu &
-Banerjee).  All three are provided behind one interface so a fitted
-characterization can drive any of them -- the "use the distributions in
-ICN analysis" workflow across topologies.
+Banerjee).  All of them -- plus N-dimensional generalizations and
+hierarchical chiplet-hub graphs -- are provided behind one interface so
+a fitted characterization can drive any of them: the "use the
+distributions in ICN analysis" workflow across topologies.
 
 Every topology yields *directed physical channels* ``(u, v)`` and a
 deterministic, deadlock-free route as a list of :class:`Hop`\\ s.  A
 hop's ``vclass`` pins the virtual-channel class the head flit must use
-on that link (the torus' dateline discipline); ``None`` leaves the
-class free for the router to balance.
+on that link (the torus' dateline discipline, the chiplet's up/down
+phases); ``None`` leaves the class free for the router to balance.  A
+hop's ``scale`` multiplies the channel time on that link -- the
+TSV-style "vertical links are slower" knob driven by
+:class:`~repro.mesh.spec.TopologySpec` link scales.
+
+Topologies are built from specs through the registry in
+:mod:`repro.mesh.spec` (:func:`register_topology`); the built-in kinds
+``mesh``, ``torus``, ``hypercube`` and ``chiplet`` register themselves
+when this module is imported.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.mesh.spec import TopologySpec, register_topology
 
 Coordinate = Tuple[int, int]
 
@@ -30,6 +41,8 @@ class Hop:
     dst: int
     #: Virtual-channel class this hop must use (None = router's choice).
     vclass: Optional[int] = None
+    #: Channel-time multiplier of this link (1.0 = nominal speed).
+    scale: float = 1.0
 
 
 class Topology(ABC):
@@ -56,7 +69,8 @@ class Topology(ABC):
         """Length of :meth:`route` without materializing it."""
 
     #: Number of virtual-channel classes the routing discipline needs
-    #: per physical channel for deadlock freedom (1 unless wraparound).
+    #: per physical channel for deadlock freedom (1 unless wraparound
+    #: or hierarchical up/down phases).
     required_vclasses: int = 1
 
     def average_distance(self) -> float:
@@ -72,7 +86,188 @@ class Topology(ABC):
             raise ValueError(f"node {node} outside topology with {self.num_nodes} nodes")
 
 
-class MeshTopology(Topology):
+class NDMeshTopology(Topology):
+    """N-dimensional mesh/torus with dimension-order (e-cube) routing.
+
+    Node ids are row-major over ``dims``: dimension 0 varies fastest,
+    so for 2-D ``dims = (width, height)`` node ``i`` sits at
+    ``(i % width, i // width)`` exactly like the paper's mesh.  Routing
+    corrects dimensions in ascending order, which orders channel
+    acquisition and keeps the dependence graph acyclic.
+
+    Per-dimension ``wrap`` flags add wraparound (torus) channels; a
+    wrapped dimension routes the shorter way around its ring and uses
+    the classic *dateline* virtual-channel discipline (class 0 until
+    the wrap channel, class 1 after), hence ``required_vclasses = 2``
+    whenever any dimension wraps.  Per-dimension ``link_scale`` factors
+    slow or speed every channel of that dimension (TSV-style vertical
+    links), carried on each :class:`Hop` as ``scale``.
+    """
+
+    name = "mesh"
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        wrap: Optional[Sequence[bool]] = None,
+        link_scale: Optional[Sequence[float]] = None,
+    ) -> None:
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"mesh dimensions must all be >= 1, got {dims!r}")
+        self.dims = dims
+        ndim = len(dims)
+        self.wrap = tuple(bool(w) for w in wrap) if wrap else (False,) * ndim
+        if len(self.wrap) != ndim:
+            raise ValueError(f"wrap has {len(self.wrap)} flags for {ndim} dimensions")
+        self.link_scale = (
+            tuple(float(s) for s in link_scale) if link_scale else (1.0,) * ndim
+        )
+        if len(self.link_scale) != ndim:
+            raise ValueError(
+                f"link_scale has {len(self.link_scale)} factors for {ndim} dimensions"
+            )
+        if any(s <= 0 for s in self.link_scale):
+            raise ValueError(f"link-scale factors must be > 0, got {link_scale!r}")
+        strides = [1] * ndim
+        for i in range(1, ndim):
+            strides[i] = strides[i - 1] * dims[i - 1]
+        self._strides = tuple(strides)
+        self.name = "torus" if any(self.wrap) else "mesh"
+        self.required_vclasses = 2 if any(self.wrap) else 1
+
+    @property
+    def num_nodes(self) -> int:
+        nodes = 1
+        for d in self.dims:
+            nodes *= d
+        return nodes
+
+    def coordinates(self, node: int) -> Tuple[int, ...]:
+        """Map node id -> coordinate vector (row-major layout)."""
+        self._check_node(node)
+        return tuple(
+            (node // self._strides[i]) % self.dims[i] for i in range(len(self.dims))
+        )
+
+    def node_at(self, *coords: int) -> int:
+        """Map a coordinate vector -> node id."""
+        if len(coords) == 1 and isinstance(coords[0], (tuple, list)):
+            coords = tuple(coords[0])  # type: ignore[assignment]
+        if len(coords) != len(self.dims):
+            raise ValueError(
+                f"coordinate {coords!r} has {len(coords)} axes, "
+                f"topology has {len(self.dims)}"
+            )
+        for axis, c in enumerate(coords):
+            if not (0 <= c < self.dims[axis]):
+                raise ValueError(
+                    f"coordinate {tuple(coords)} outside "
+                    f"{'x'.join(map(str, self.dims))} {self.name}"
+                )
+        return sum(c * s for c, s in zip(coords, self._strides))
+
+    def neighbors(self, node: int) -> List[int]:
+        """Adjacent node ids; ordered per dimension on a pure mesh,
+        sorted and deduplicated once any dimension wraps."""
+        coords = self.coordinates(node)
+        if not any(self.wrap):
+            out = []
+            for axis in range(len(self.dims)):
+                c = coords[axis]
+                if c > 0:
+                    out.append(node - self._strides[axis])
+                if c < self.dims[axis] - 1:
+                    out.append(node + self._strides[axis])
+            return out
+        found = set()
+        for axis in range(len(self.dims)):
+            c = coords[axis]
+            size = self.dims[axis]
+            stride = self._strides[axis]
+            if self.wrap[axis]:
+                for nxt in ((c - 1) % size, (c + 1) % size):
+                    found.add(node + (nxt - c) * stride)
+            else:
+                if c > 0:
+                    found.add(node - stride)
+                if c < size - 1:
+                    found.add(node + stride)
+        found.discard(node)
+        return sorted(found)
+
+    def channels(self) -> Iterator[Tuple[int, int]]:
+        for node in range(self.num_nodes):
+            for nbr in self.neighbors(node):
+                yield node, nbr
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance (shorter ring way on wrapped dimensions)."""
+        s = self.coordinates(src)
+        d = self.coordinates(dst)
+        total = 0
+        for axis in range(len(self.dims)):
+            if self.wrap[axis]:
+                size = self.dims[axis]
+                total += min((d[axis] - s[axis]) % size, (s[axis] - d[axis]) % size)
+            else:
+                total += abs(s[axis] - d[axis])
+        return total
+
+    @staticmethod
+    def _ring_steps(start: int, stop: int, size: int) -> List[int]:
+        """Successive coordinates along the shorter ring direction."""
+        if start == stop or size == 1:
+            return []
+        forward = (stop - start) % size
+        backward = (start - stop) % size
+        step = 1 if forward <= backward else -1
+        steps = []
+        position = start
+        while position != stop:
+            position = (position + step) % size
+            steps.append(position)
+        return steps
+
+    def _axis_hops(self, path: List[Hop], position: List[int], target: int, axis: int) -> None:
+        """Walk one unwrapped dimension to ``target`` (plain e-cube)."""
+        scale = self.link_scale[axis]
+        while position[axis] != target:
+            nxt = position[axis] + 1 if target > position[axis] else position[axis] - 1
+            u = self.node_at(*position)
+            position[axis] = nxt
+            path.append(Hop(u, self.node_at(*position), None, scale))
+
+    def _ring_axis_hops(self, path: List[Hop], position: List[int], target: int, axis: int) -> None:
+        """Walk one wrapped dimension with the dateline VC discipline."""
+        scale = self.link_scale[axis]
+        vclass = 0
+        for nxt in self._ring_steps(position[axis], target, self.dims[axis]):
+            u = self.node_at(*position)
+            wrapped = abs(nxt - position[axis]) > 1
+            position[axis] = nxt
+            v = self.node_at(*position)
+            if wrapped:
+                # Crossing the wrap channel: everything after the
+                # dateline rides class 1.
+                path.append(Hop(u, v, 0, scale))
+                vclass = 1
+            else:
+                path.append(Hop(u, v, vclass, scale))
+
+    def route(self, src: int, dst: int) -> List[Hop]:
+        position = list(self.coordinates(src))
+        d = self.coordinates(dst)
+        path: List[Hop] = []
+        for axis in range(len(self.dims)):
+            if self.wrap[axis] and self.dims[axis] > 1:
+                self._ring_axis_hops(path, position, d[axis], axis)
+            else:
+                self._axis_hops(path, position, d[axis], axis)
+        return path
+
+
+class MeshTopology(NDMeshTopology):
     """``width x height`` 2-D mesh with dimension-order (XY) routing.
 
     Node ids are row-major: node ``i`` sits at ``(i % width, i // width)``.
@@ -81,66 +276,25 @@ class MeshTopology(Topology):
 
     name = "mesh"
 
-    def __init__(self, width: int, height: int) -> None:
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        *,
+        wrap: Optional[Sequence[bool]] = None,
+        link_scale: Optional[Sequence[float]] = None,
+    ) -> None:
         if width < 1 or height < 1:
             raise ValueError(f"mesh must be at least 1x1, got {width}x{height}")
-        self.width = width
-        self.height = height
+        super().__init__((width, height), wrap=wrap, link_scale=link_scale)
 
     @property
-    def num_nodes(self) -> int:
-        return self.width * self.height
+    def width(self) -> int:
+        return self.dims[0]
 
-    def coordinates(self, node: int) -> Coordinate:
-        """Map node id -> ``(x, y)`` coordinate (row-major layout)."""
-        self._check_node(node)
-        return node % self.width, node // self.width
-
-    def node_at(self, x: int, y: int) -> int:
-        """Map ``(x, y)`` coordinate -> node id."""
-        if not (0 <= x < self.width and 0 <= y < self.height):
-            raise ValueError(f"coordinate ({x},{y}) outside {self.width}x{self.height} mesh")
-        return y * self.width + x
-
-    def neighbors(self, node: int) -> List[int]:
-        """Adjacent node ids (no wraparound)."""
-        x, y = self.coordinates(node)
-        out = []
-        if x > 0:
-            out.append(self.node_at(x - 1, y))
-        if x < self.width - 1:
-            out.append(self.node_at(x + 1, y))
-        if y > 0:
-            out.append(self.node_at(x, y - 1))
-        if y < self.height - 1:
-            out.append(self.node_at(x, y + 1))
-        return out
-
-    def channels(self) -> Iterator[Tuple[int, int]]:
-        for node in range(self.num_nodes):
-            for nbr in self.neighbors(node):
-                yield node, nbr
-
-    def hops(self, src: int, dst: int) -> int:
-        """Manhattan distance."""
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
-        return abs(sx - dx) + abs(sy - dy)
-
-    def route(self, src: int, dst: int) -> List[Hop]:
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
-        path: List[Hop] = []
-        x, y = sx, sy
-        while x != dx:
-            nxt = x + 1 if dx > x else x - 1
-            path.append(Hop(self.node_at(x, y), self.node_at(nxt, y)))
-            x = nxt
-        while y != dy:
-            nxt = y + 1 if dy > y else y - 1
-            path.append(Hop(self.node_at(x, y), self.node_at(x, nxt)))
-            y = nxt
-        return path
+    @property
+    def height(self) -> int:
+        return self.dims[1]
 
     def route_yx(self, src: int, dst: int) -> List[Hop]:
         """Dimension-order route traversing Y before X.
@@ -149,18 +303,11 @@ class MeshTopology(Topology):
         order; on its own virtual-channel class it is deadlock-free by
         the same dimension-order argument.
         """
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
+        position = list(self.coordinates(src))
+        d = self.coordinates(dst)
         path: List[Hop] = []
-        x, y = sx, sy
-        while y != dy:
-            nxt = y + 1 if dy > y else y - 1
-            path.append(Hop(self.node_at(x, y), self.node_at(x, nxt)))
-            y = nxt
-        while x != dx:
-            nxt = x + 1 if dx > x else x - 1
-            path.append(Hop(self.node_at(x, y), self.node_at(nxt, y)))
-            x = nxt
+        self._axis_hops(path, position, d[1], 1)
+        self._axis_hops(path, position, d[0], 0)
         return path
 
 
@@ -178,68 +325,14 @@ class TorusTopology(MeshTopology):
     name = "torus"
     required_vclasses = 2
 
-    def neighbors(self, node: int) -> List[int]:
-        """Adjacent node ids including wraparound (deduplicated)."""
-        x, y = self.coordinates(node)
-        out = {
-            self.node_at((x - 1) % self.width, y),
-            self.node_at((x + 1) % self.width, y),
-            self.node_at(x, (y - 1) % self.height),
-            self.node_at(x, (y + 1) % self.height),
-        }
-        out.discard(node)
-        return sorted(out)
-
-    @staticmethod
-    def _ring_steps(start: int, stop: int, size: int) -> List[int]:
-        """Successive coordinates along the shorter ring direction."""
-        if start == stop or size == 1:
-            return []
-        forward = (stop - start) % size
-        backward = (start - stop) % size
-        step = 1 if forward <= backward else -1
-        steps = []
-        position = start
-        while position != stop:
-            position = (position + step) % size
-            steps.append(position)
-        return steps
-
-    def hops(self, src: int, dst: int) -> int:
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
-        x_dist = min((dx - sx) % self.width, (sx - dx) % self.width)
-        y_dist = min((dy - sy) % self.height, (sy - dy) % self.height)
-        return x_dist + y_dist
-
-    def _ring_hops(self, fixed: int, moving_start: int, steps: List[int], axis: str) -> List[Hop]:
-        hops: List[Hop] = []
-        vclass = 0
-        position = moving_start
-        for nxt in steps:
-            if axis == "x":
-                hop = Hop(self.node_at(position, fixed), self.node_at(nxt, fixed), vclass)
-                wrapped = abs(nxt - position) > 1
-            else:
-                hop = Hop(self.node_at(fixed, position), self.node_at(fixed, nxt), vclass)
-                wrapped = abs(nxt - position) > 1
-            if wrapped:
-                # Crossing the wrap channel: everything after the
-                # dateline rides class 1.
-                hop = Hop(hop.src, hop.dst, 0)
-                vclass = 1
-            hops.append(hop)
-            position = nxt
-        return hops
-
-    def route(self, src: int, dst: int) -> List[Hop]:
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
-        x_steps = self._ring_steps(sx, dx, self.width)
-        path = self._ring_hops(sy, sx, x_steps, "x")
-        y_steps = self._ring_steps(sy, dy, self.height)
-        path += self._ring_hops(dx, sy, y_steps, "y")
-        return path
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        *,
+        link_scale: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(width, height, wrap=(True, True), link_scale=link_scale)
 
 
 class HypercubeTopology(Topology):
@@ -299,16 +392,133 @@ class HypercubeTopology(Topology):
         return path
 
 
+class ChipletTopology(Topology):
+    """``hubs`` identical mesh chiplets joined through gateway nodes.
+
+    Each chiplet is an N-D mesh block of ``dims`` nodes; its local node
+    0 is the *gateway*, and the gateways form a fully connected hub
+    graph (the package-level interposer links).  Node ids are
+    block-major: node ``i`` is local node ``i % block_nodes`` of chiplet
+    ``i // block_nodes``.
+
+    Routing is up*/down*: a cross-chiplet message climbs
+    dimension-order to its source gateway on virtual-channel class 0,
+    takes one hub channel, then descends dimension-order to the
+    destination on class 1.  Up-hops only ever wait on class-0 local
+    channels and hub channels, down-hops only on class-1 local
+    channels, and no worm goes back up -- the channel-dependence graph
+    is acyclic, hence ``required_vclasses = 2``.
+    """
+
+    name = "chiplet"
+    required_vclasses = 2
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        hubs: int,
+        link_scale: Optional[Sequence[float]] = None,
+    ) -> None:
+        if hubs < 1:
+            raise ValueError(f"chiplet topology needs hubs >= 1, got {hubs}")
+        self.block = NDMeshTopology(dims, link_scale=link_scale)
+        self.hubs = hubs
+        self.dims = self.block.dims
+        self.link_scale = self.block.link_scale
+        self.block_nodes = self.block.num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self.block_nodes * self.hubs
+
+    def chiplet_of(self, node: int) -> int:
+        """Which chiplet block a node belongs to."""
+        self._check_node(node)
+        return node // self.block_nodes
+
+    def gateway(self, chiplet: int) -> int:
+        """The hub-attached gateway node of a chiplet (local node 0)."""
+        if not (0 <= chiplet < self.hubs):
+            raise ValueError(f"chiplet {chiplet} outside {self.hubs}-chiplet package")
+        return chiplet * self.block_nodes
+
+    def neighbors(self, node: int) -> List[int]:
+        """Local mesh neighbours, plus the other gateways for gateways."""
+        chiplet = self.chiplet_of(node)
+        offset = chiplet * self.block_nodes
+        out = [offset + nbr for nbr in self.block.neighbors(node - offset)]
+        if node == self.gateway(chiplet):
+            out.extend(
+                self.gateway(other) for other in range(self.hubs) if other != chiplet
+            )
+        return out
+
+    def channels(self) -> Iterator[Tuple[int, int]]:
+        for node in range(self.num_nodes):
+            for nbr in self.neighbors(node):
+                yield node, nbr
+
+    def hops(self, src: int, dst: int) -> int:
+        source_chiplet = self.chiplet_of(src)
+        dest_chiplet = self.chiplet_of(dst)
+        local_src = src - source_chiplet * self.block_nodes
+        local_dst = dst - dest_chiplet * self.block_nodes
+        if source_chiplet == dest_chiplet:
+            return self.block.hops(local_src, local_dst)
+        return self.block.hops(local_src, 0) + 1 + self.block.hops(0, local_dst)
+
+    def route(self, src: int, dst: int) -> List[Hop]:
+        source_chiplet = self.chiplet_of(src)
+        dest_chiplet = self.chiplet_of(dst)
+        source_offset = source_chiplet * self.block_nodes
+        dest_offset = dest_chiplet * self.block_nodes
+        if source_chiplet == dest_chiplet:
+            return [
+                Hop(h.src + source_offset, h.dst + source_offset, h.vclass, h.scale)
+                for h in self.block.route(src - source_offset, dst - source_offset)
+            ]
+        up = [
+            Hop(h.src + source_offset, h.dst + source_offset, 0, h.scale)
+            for h in self.block.route(src - source_offset, 0)
+        ]
+        hub = Hop(self.gateway(source_chiplet), self.gateway(dest_chiplet), 0)
+        down = [
+            Hop(h.src + dest_offset, h.dst + dest_offset, 1, h.scale)
+            for h in self.block.route(0, dst - dest_offset)
+        ]
+        return up + [hub] + down
+
+
 def make_topology(name: str, width: int, height: int) -> Topology:
     """Build a topology by name over ``width * height`` nodes.
 
-    ``"mesh"`` and ``"torus"`` use the 2-D geometry directly;
-    ``"hypercube"`` requires ``width * height`` to be a power of two.
+    The legacy 2-D entry point, now a thin wrapper over the
+    :mod:`repro.mesh.spec` registry: ``"mesh"`` and ``"torus"`` use the
+    2-D geometry directly; ``"hypercube"`` requires ``width * height``
+    to be a power of two.  Prefer building from a
+    :class:`~repro.mesh.spec.TopologySpec` directly.
     """
-    if name == "mesh":
-        return MeshTopology(width, height)
-    if name == "torus":
-        return TorusTopology(width, height)
-    if name == "hypercube":
-        return HypercubeTopology.for_nodes(width * height)
-    raise ValueError(f"unknown topology {name!r}; choose mesh, torus or hypercube")
+    return TopologySpec(kind=str(name), dims=(int(width), int(height))).build()
+
+
+def _build_cartesian(spec: TopologySpec) -> Topology:
+    if len(spec.dims) == 2:
+        if not spec.wraps:
+            return MeshTopology(spec.dims[0], spec.dims[1], link_scale=spec.link_scale)
+        if all(spec.wrap):
+            return TorusTopology(spec.dims[0], spec.dims[1], link_scale=spec.link_scale)
+    return NDMeshTopology(spec.dims, wrap=spec.wrap, link_scale=spec.link_scale)
+
+
+def _build_hypercube(spec: TopologySpec) -> Topology:
+    return HypercubeTopology.for_nodes(spec.num_nodes)
+
+
+def _build_chiplet(spec: TopologySpec) -> Topology:
+    return ChipletTopology(spec.dims, spec.hubs, link_scale=spec.link_scale)
+
+
+register_topology("mesh", _build_cartesian)
+register_topology("torus", _build_cartesian)
+register_topology("hypercube", _build_hypercube)
+register_topology("chiplet", _build_chiplet)

@@ -104,6 +104,7 @@ __all__ = [
     "logs_bit_identical",
     "run_parallel_mesh",
     "run_serial_schedule",
+    "schedule_pattern_names",
 ]
 
 #: The :class:`~repro.core.options.RunOptions` scheduler name this
@@ -113,8 +114,17 @@ PARALLEL_SCHEDULER = "parallel"
 #: Conservative advancement modes (see the module docstring).
 SYNC_MODES = ("barrier", "null")
 
-#: Synthetic traffic patterns :meth:`ScheduleTraffic.compile_pattern` draws.
+#: Built-in schedule patterns :meth:`ScheduleTraffic.compile_pattern`
+#: draws inline; any pattern registered in :mod:`repro.mesh.patterns`
+#: (tornado, transpose, hotspot, ...) is accepted as well.
 PATTERNS = ("local", "uniform")
+
+
+def schedule_pattern_names() -> Tuple[str, ...]:
+    """Every pattern name :meth:`ScheduleTraffic.compile_pattern` accepts."""
+    from repro.mesh.patterns import registered_patterns
+
+    return tuple(sorted(set(PATTERNS) | set(registered_patterns())))
 
 #: Kind tag on every schedule-replay message.
 TRAFFIC_KIND = "pattern"
@@ -186,17 +196,26 @@ class ScheduleTraffic:
     ) -> "ScheduleTraffic":
         """Draw a synthetic pattern workload once, up front.
 
-        ``local`` keeps every message inside its source's row (so it
-        never crosses a row-sliced region boundary); ``uniform``
-        spreads destinations over every other node.  Gaps are
-        exponential with mean ``mean_gap``, drawn from per-source
+        ``local`` keeps every message inside its source's layer of the
+        sliced axis (so it never crosses a region boundary);
+        ``uniform`` spreads destinations over every other node; any
+        name registered in :mod:`repro.mesh.patterns` (tornado,
+        transpose, hotspot, ...) draws destinations from that pattern,
+        shaped to the config's dims.  Gaps are exponential with mean
+        ``mean_gap``, drawn from per-source
         :class:`numpy.random.SeedSequence` spawns so the schedule is
         independent of source iteration order.
         """
+        registry_pattern = None
         if pattern not in PATTERNS:
-            raise ValueError(
-                f"unknown pattern {pattern!r}; expected one of {PATTERNS}"
-            )
+            from repro.mesh.patterns import pattern_for_config, registered_patterns
+
+            if pattern not in registered_patterns():
+                raise ValueError(
+                    f"unknown pattern {pattern!r}; expected one of "
+                    f"{schedule_pattern_names()}"
+                )
+            registry_pattern = pattern_for_config(pattern, config)
         if messages_per_source < 0:
             raise ValueError(
                 f"messages_per_source must be >= 0, got {messages_per_source}"
@@ -208,19 +227,25 @@ class ScheduleTraffic:
         if mean_gap <= 0:
             raise ValueError(f"mean_gap must be positive, got {mean_gap}")
         n = config.num_nodes
-        width = config.width
+        # In-layer node count of the sliced (highest) axis: the 2-D
+        # width.  "local" traffic stays inside one layer.
+        plane = n // config.spec.dims[-1]
         streams = np.random.SeedSequence(seed).spawn(n)
         per_source: Dict[int, List[Tuple[float, int, int, int]]] = {}
         for src in range(n):
             rng = np.random.default_rng(streams[src])
-            x, y = src % width, src // width
+            x, y = src % plane, src // plane
             entries: List[Tuple[float, int, int, int]] = []
             for i in range(messages_per_source):
                 gap = float(rng.exponential(mean_gap))
                 if pattern == "local":
-                    if width < 2:
+                    if plane < 2:
                         break  # a one-column mesh has no row-local peers
-                    dst = y * width + int((x + 1 + rng.integers(width - 1)) % width)
+                    dst = y * plane + int((x + 1 + rng.integers(plane - 1)) % plane)
+                elif registry_pattern is not None:
+                    dst = int(registry_pattern.destination(src, rng))
+                    if dst == src:
+                        continue  # self-sends never enter the network
                 else:
                     if n < 2:
                         break
@@ -462,8 +487,7 @@ class _RegionWorker:
         meta = self.pending.pop(record.msg_id, None)
         if meta is None:
             # Pure-local message: log it verbatim with global ids.
-            start, _ = self.partition.bounds[self.region]
-            offset = start * self.partition.config.width
+            offset = self.partition.to_global(self.region, 0)
             self.shard.append(
                 record.msg_id,
                 record.src + offset,

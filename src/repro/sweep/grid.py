@@ -27,6 +27,7 @@ import numpy as np
 from repro.apps import MESSAGE_PASSING_APPS, SHARED_MEMORY_APPS
 from repro.core.options import RunOptions
 from repro.mesh.config import MeshConfig
+from repro.mesh.patterns import pattern_for_config, registered_patterns
 
 #: Default (laptop-scale) problem sizes per application, used when a
 #: grid does not override them.  Deliberately smaller than the
@@ -62,6 +63,15 @@ class CellSpec:
     source, seeded from ``seed``.  ``protocol`` selects the coherence
     protocol for shared-memory apps (:data:`NO_PROTOCOL` otherwise).
 
+    A *pattern* cell sets ``pattern`` to a registered synthetic traffic
+    pattern name instead: the cell then drives ``mesh`` directly with
+    that pattern (tornado, transpose, hotspot, ...) at a load scaled by
+    ``rate_scale`` -- no application characterization involved.  For
+    these cells ``app`` equals the pattern name (so comparison tables
+    label rows uniformly) and ``protocol`` is :data:`NO_PROTOCOL`.
+    ``pattern`` is omitted from the serialized form when ``None``,
+    keeping every pre-existing cache key stable.
+
     ``options`` (a frozen, hashable
     :class:`~repro.core.options.RunOptions`) configures the kernel for
     both runs.  It is part of the cell's identity: a non-default
@@ -79,6 +89,7 @@ class CellSpec:
     seed: int
     messages_per_source: int
     options: Optional[RunOptions] = None
+    pattern: Optional[str] = None
 
     @property
     def params_dict(self) -> Dict[str, object]:
@@ -99,11 +110,14 @@ class CellSpec:
         }
         if self.options is not None:
             doc["options"] = self.options.as_dict()
+        if self.pattern is not None:
+            doc["pattern"] = self.pattern
         return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, object]) -> "CellSpec":
         options_doc = doc.get("options")
+        pattern_doc = doc.get("pattern")
         return cls(
             app=str(doc["app"]),
             params=_freeze_params(doc.get("params", {})),  # type: ignore[arg-type]
@@ -117,6 +131,7 @@ class CellSpec:
                 if options_doc is not None
                 else None
             ),
+            pattern=str(pattern_doc) if pattern_doc is not None else None,
         )
 
     def canonical_json(self) -> str:
@@ -163,7 +178,9 @@ class GridSpec:
         Frozen per-app parameter overrides; apps not listed use
         :data:`DEFAULT_APP_PARAMS`.
     meshes:
-        Mesh specs (``"WxH[:topology]"``).
+        Topology specs in the :meth:`TopologySpec.parse
+        <repro.mesh.spec.TopologySpec.parse>` grammar (``"4x2"``,
+        ``"4x4x2:torus"``, ``"chiplet(4x4,hubs=2)"``).
     protocols:
         Coherence protocols for shared-memory cells; message-passing
         cells collapse this axis to :data:`NO_PROTOCOL` (running the
@@ -179,6 +196,12 @@ class GridSpec:
         Kernel/run knobs applied to every cell (scheduler choice,
         stall/leak checks); None leaves the cells on the defaults and
         their cache keys unchanged.
+    patterns:
+        Registered synthetic traffic pattern names (tornado, transpose,
+        hotspot, ...): each adds pattern cells over the mesh x
+        rate-scale x seed axes, alongside (or instead of) the app
+        cells, so one sweep emits topology x pattern x load comparison
+        tables.
     """
 
     apps: Tuple[str, ...]
@@ -189,6 +212,7 @@ class GridSpec:
     seeds: Tuple[int, ...]
     messages_per_source: int
     options: Optional[RunOptions] = None
+    patterns: Tuple[str, ...] = ()
 
     def params_for(self, app: str) -> Dict[str, object]:
         for name, params in self.app_params:
@@ -218,6 +242,23 @@ class GridSpec:
                                     options=self.options,
                                 )
                             )
+        for pattern in self.patterns:
+            for mesh in self.meshes:
+                for rate_scale in self.rate_scales:
+                    for seed in self.seeds:
+                        cells.append(
+                            CellSpec(
+                                app=pattern,
+                                params=(),
+                                mesh=mesh,
+                                protocol=NO_PROTOCOL,
+                                rate_scale=rate_scale,
+                                seed=seed,
+                                messages_per_source=self.messages_per_source,
+                                options=self.options,
+                                pattern=pattern,
+                            )
+                        )
         return cells
 
     def as_dict(self) -> Dict[str, object]:
@@ -232,6 +273,8 @@ class GridSpec:
         }
         if self.options is not None:
             doc["options"] = self.options.as_dict()
+        if self.patterns:
+            doc["patterns"] = list(self.patterns)
         return doc
 
     @classmethod
@@ -250,6 +293,7 @@ class GridSpec:
                 if options_doc is not None
                 else None
             ),
+            patterns=doc.get("patterns", ()),  # type: ignore[arg-type]
         )
 
     @classmethod
@@ -267,12 +311,14 @@ def make_grid(
     seeds: Sequence[int] = (0,),
     messages_per_source: int = 120,
     options: Optional[RunOptions] = None,
+    patterns: Sequence[str] = (),
 ) -> GridSpec:
     """Validate axes and build a :class:`GridSpec`."""
     known_apps = SHARED_MEMORY_APPS + MESSAGE_PASSING_APPS
     apps = tuple(apps)
-    if not apps:
-        raise ValueError("grid needs at least one app")
+    patterns = tuple(patterns)
+    if not apps and not patterns:
+        raise ValueError("grid needs at least one app or pattern")
     for app in apps:
         if app not in known_apps:
             raise ValueError(
@@ -283,6 +329,16 @@ def make_grid(
         raise ValueError("grid needs at least one mesh")
     for mesh in meshes:
         MeshConfig.parse(mesh)  # validates eagerly, at declaration time
+    for name in patterns:
+        if name not in registered_patterns():
+            raise ValueError(
+                f"unknown pattern {name!r}; registered: "
+                + ", ".join(registered_patterns())
+            )
+        for mesh in meshes:
+            # Fail at declaration time when a pattern cannot target a
+            # mesh (e.g. transpose on non-palindromic dims).
+            pattern_for_config(name, MeshConfig.parse(mesh))
     protocols = tuple(protocols)
     if not protocols:
         raise ValueError("grid needs at least one protocol")
@@ -319,4 +375,5 @@ def make_grid(
         seeds=seeds,
         messages_per_source=messages_per_source,
         options=options,
+        patterns=patterns,
     )

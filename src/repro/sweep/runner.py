@@ -148,8 +148,13 @@ def execute_cell(
     ``--heartbeat-dir`` plumbing.  It deliberately stays out of the
     report's recorded ``options`` (and out of the cache key): where a
     sweep's progress was watched must not re-key its results.
+
+    Pattern cells (``spec.pattern`` set) skip characterization entirely
+    and drive the mesh with the named synthetic pattern instead.
     """
     spec = CellSpec.from_dict(spec_doc)
+    if spec.pattern is not None:
+        return _execute_pattern_cell(spec, heartbeat)
     started = time.perf_counter()
     mesh = spec.mesh_config()
     app = create_app(spec.app, **spec.params_dict)
@@ -202,6 +207,59 @@ def execute_cell(
             "efficiency": point.efficiency,
         },
     )
+    return report.as_dict()
+
+
+def _execute_pattern_cell(
+    spec: CellSpec, heartbeat: Optional[str] = None
+) -> Dict[str, object]:
+    """Execute a synthetic-pattern cell; returns a run-report dict.
+
+    Builds the cell's pattern against its mesh (dims-aware for
+    mesh/torus specs) and drives it open-loop with per-source Poisson
+    sources; ``rate_scale`` scales the offered load by shrinking the
+    mean inter-injection gap.  The report uses the pattern name as both
+    ``app`` and ``strategy`` axis values, so topology x pattern x load
+    comparison tables line up with application rows.
+    """
+    from repro.mesh.patterns import drive_pattern, pattern_for_config
+
+    started = time.perf_counter()
+    if heartbeat is not None:
+        write_status_record(heartbeat, spec.cell_id, "running")
+    mesh = spec.mesh_config()
+    pattern = pattern_for_config(spec.pattern, mesh)
+    cell_seed = int(spec.seed_sequence().generate_state(1)[0])
+    mean_gap = 10.0 / spec.rate_scale
+    log = drive_pattern(
+        pattern,
+        mesh,
+        messages_per_source=spec.messages_per_source,
+        mean_gap=mean_gap,
+        seed=cell_seed,
+    )
+    stats = log.summary()
+    report = report_from_summary(
+        stats,
+        app=spec.pattern,
+        strategy="pattern",
+        mesh=spec.mesh,
+        params=spec.params_dict,
+        wall_seconds=time.perf_counter() - started,
+        extra={
+            "source": "sweep",
+            "pattern": spec.pattern,
+            "protocol": spec.protocol,
+            "options": spec.options.as_dict() if spec.options is not None else None,
+            "rate_scale": spec.rate_scale,
+            "seed": spec.seed,
+            "cell_seed": cell_seed,
+            "mean_gap": mean_gap,
+            "offered_rate": stats.offered_rate,
+        },
+    )
+    if heartbeat is not None:
+        write_status_record(heartbeat, spec.cell_id, "done", append=True)
     return report.as_dict()
 
 

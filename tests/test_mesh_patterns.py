@@ -134,3 +134,124 @@ class TestFactoryAndHarness:
     def test_pattern_needs_two_nodes(self):
         with pytest.raises(ValueError):
             UniformTraffic(1)
+
+
+class TestNewPatterns:
+    def test_tornado_2d(self):
+        from repro.mesh import TornadoTraffic
+
+        # 4x4: each coordinate moves by ceil(4/2)-1 = 1 in every dim.
+        pattern = TornadoTraffic(16, dims=(4, 4))
+        assert pattern.destination(0, RNG) == 5  # (0,0) -> (1,1)
+        assert pattern.destination(15, RNG) == 0  # (3,3) -> (0,0)
+
+    def test_tornado_defaults_to_square(self):
+        from repro.mesh import TornadoTraffic
+
+        pattern = TornadoTraffic(16)
+        assert pattern.destination(0, RNG) == TornadoTraffic(16, dims=(4, 4)).destination(0, RNG)
+
+    def test_tornado_is_a_bijection(self):
+        from repro.mesh import TornadoTraffic
+
+        pattern = TornadoTraffic(24, dims=(6, 4))
+        dests = {pattern.destination(s, RNG) for s in range(24)}
+        assert dests == set(range(24))
+
+    def test_neighbor_exchange(self):
+        from repro.mesh import NeighborTraffic
+
+        pattern = NeighborTraffic(16, dims=(4, 4))
+        assert pattern.destination(0, RNG) == 1
+        assert pattern.destination(3, RNG) == 0  # wraps the first axis
+
+    def test_shuffle_rotates_bits(self):
+        from repro.mesh import ShuffleTraffic
+
+        pattern = ShuffleTraffic(8)
+        # 0b001 -> 0b010, 0b100 -> 0b001, 0b110 -> 0b101
+        assert pattern.destination(1, RNG) == 2
+        assert pattern.destination(4, RNG) == 1
+        assert pattern.destination(6, RNG) == 5
+
+    def test_shuffle_needs_power_of_two(self):
+        from repro.mesh import ShuffleTraffic
+
+        with pytest.raises(ValueError):
+            ShuffleTraffic(12)
+
+    def test_transpose_palindromic_dims(self):
+        pattern = TransposeTraffic(16, dims=(2, 4, 2))
+        dests = {pattern.destination(s, RNG) for s in range(16)}
+        assert dests == set(range(16))
+
+    def test_transpose_rejects_non_palindromic(self):
+        with pytest.raises(ValueError, match="palindromic"):
+            TransposeTraffic(8, dims=(4, 2))
+
+    def test_dims_must_match_node_count(self):
+        from repro.mesh import TornadoTraffic
+
+        with pytest.raises(ValueError):
+            TornadoTraffic(16, dims=(3, 4))
+
+
+class TestPatternRegistry:
+    def test_registered_names(self):
+        from repro.mesh import registered_patterns
+
+        names = registered_patterns()
+        for expected in ("uniform", "tornado", "transpose", "hotspot",
+                         "neighbor", "shuffle", "bit-complement"):
+            assert expected in names
+        assert names == tuple(sorted(names))
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="registered"):
+            make_pattern("zipf", 16)
+
+    def test_unknown_kwarg_names_accepted(self):
+        with pytest.raises(ValueError, match="accepted"):
+            make_pattern("hotspot", 16, temperature=3)
+
+    def test_register_pattern(self):
+        from repro.mesh import register_pattern
+        from repro.mesh.patterns import PATTERNS
+
+        register_pattern("everyone-to-zero", lambda num_nodes: UniformTraffic(num_nodes))
+        try:
+            assert make_pattern("everyone-to-zero", 8).num_nodes == 8
+        finally:
+            PATTERNS.pop("everyone-to-zero", None)
+
+    def test_pattern_for_config_injects_dims(self):
+        from repro.mesh import pattern_for_config
+
+        cfg = MeshConfig(spec="2x8:mesh")
+        pattern = pattern_for_config("tornado", cfg)
+        # (0,0) -> (0, 3) on the 2x8 grid, not the square default.
+        assert pattern.destination(0, RNG) == 6
+
+    def test_pattern_for_config_hierarchical_falls_back(self):
+        from repro.mesh import pattern_for_config
+
+        cfg = MeshConfig.parse("chiplet(4x4,hubs=4)")
+        pattern = pattern_for_config("transpose", cfg)
+        assert pattern.num_nodes == 64
+
+
+class TestHotspotSelfSend:
+    def test_hotspot_source_never_sends_to_itself(self):
+        # The hotspot node itself draws from the uniform background; a
+        # redraw must kick in whenever that lands on the source.
+        pattern = HotspotTraffic(8, hotspot=3, fraction=0.9)
+        rng = np.random.default_rng(123)
+        for _ in range(500):
+            assert pattern.destination(3, rng) != 3
+
+    def test_all_sources_never_self_send(self):
+        pattern = HotspotTraffic(4, hotspot=0, fraction=0.5)
+        rng = np.random.default_rng(7)
+        for src in range(4):
+            for _ in range(200):
+                assert pattern.destination(src, rng) != src

@@ -222,7 +222,7 @@ class TestScheduleTraffic:
     def test_rejections(self):
         config = MeshConfig(width=4, height=4)
         with pytest.raises(ValueError, match="unknown pattern"):
-            ScheduleTraffic.compile_pattern(config, pattern="hotspot")
+            ScheduleTraffic.compile_pattern(config, pattern="zipf")
         with pytest.raises(ValueError, match="mean_gap"):
             ScheduleTraffic.compile_pattern(config, mean_gap=0.0)
         with pytest.raises(ValueError, match="msg_id blocks"):

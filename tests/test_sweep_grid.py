@@ -241,3 +241,63 @@ class TestAggregation:
         text = describe_status(status)
         assert "1/8 cells cached" in text
         assert "pending" in text
+
+
+class TestPatternCells:
+    def test_pattern_axis_expands_after_apps(self):
+        grid = make_grid(
+            apps=("1d-fft",),
+            meshes=("4x2",),
+            protocols=("invalidate",),
+            patterns=("tornado", "uniform"),
+        )
+        cells = grid.expand()
+        app_cells = [c for c in cells if c.pattern is None]
+        pattern_cells = [c for c in cells if c.pattern is not None]
+        assert len(app_cells) == 1
+        assert [c.app for c in pattern_cells] == ["tornado", "uniform"]
+        for cell in pattern_cells:
+            assert cell.protocol == NO_PROTOCOL
+            assert cell.params == ()
+        # Pattern cells come after every app cell, so pre-existing
+        # sweeps keep their cell ordering.
+        assert cells[: len(app_cells)] == app_cells
+
+    def test_pattern_only_grid(self):
+        grid = make_grid(apps=(), patterns=("tornado",), meshes=("4x4x2:torus",))
+        cells = grid.expand()
+        assert len(cells) == 1
+        assert cells[0].pattern == "tornado"
+
+    def test_grid_needs_an_app_or_pattern(self):
+        with pytest.raises(ValueError, match="app or pattern"):
+            make_grid(apps=())
+
+    def test_unknown_pattern_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            make_grid(apps=(), patterns=("zipf",))
+
+    def test_incompatible_pattern_mesh_rejected_eagerly(self):
+        # transpose cannot target a 4x2 grid (non-palindromic dims).
+        with pytest.raises(ValueError, match="transpose"):
+            make_grid(apps=(), patterns=("transpose",), meshes=("4x2",))
+
+    def test_grid_round_trips_patterns(self):
+        grid = make_grid(apps=(), patterns=("tornado",), meshes=("4x4:torus",))
+        doc = json.loads(json.dumps(grid.as_dict()))
+        assert GridSpec.from_dict(doc) == grid
+        assert doc["patterns"] == ["tornado"]
+
+    def test_cache_keys_stable_without_pattern(self):
+        # Pre-existing app cells must not grow a "pattern" key: that
+        # would re-key (and thus invalidate) every cached sweep result.
+        grid = small_grid()
+        for cell in grid.expand():
+            assert "pattern" not in cell.as_dict()
+            assert "pattern" not in cell.canonical_json()
+        assert "patterns" not in grid.as_dict()
+
+    def test_pattern_cell_round_trip(self):
+        grid = make_grid(apps=(), patterns=("hotspot",), meshes=("4x2",))
+        cell = grid.expand()[0]
+        assert CellSpec.from_dict(json.loads(cell.canonical_json())) == cell

@@ -1,0 +1,524 @@
+"""TopologySpec API: grammar, registry, N-D routing, 2-D equivalence.
+
+The topology redesign (spec-first configuration, N-D meshes/tori,
+chiplet hierarchies) must not perturb the paper's 2-D results: the
+hypothesis suites here check that spec-built 2-D networks route and
+log *bit-identically* to the legacy construction paths, and that the
+new N-D routes keep the invariants the conservative parallel scheduler
+and the deadlock argument rely on (minimal hops, dimension-order
+monotonicity, dateline virtual-channel discipline, up*/down* ordering
+on the hierarchy).
+"""
+
+import math
+import pickle
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh import (
+    ChipletTopology,
+    MeshConfig,
+    MeshPartition,
+    MeshTopology,
+    NDMeshTopology,
+    TopologySpec,
+    TopologySpecError,
+    TorusTopology,
+    build_topology,
+    make_partition,
+    make_topology,
+    register_topology,
+    registered_topologies,
+)
+from repro.mesh.spec import TOPOLOGIES
+from repro.simkernel.engine_parallel import (
+    ScheduleTraffic,
+    logs_bit_identical,
+    run_parallel_mesh,
+    run_serial_schedule,
+)
+
+
+class TestSpecParse:
+    @pytest.mark.parametrize(
+        "text, kind, dims",
+        [
+            ("4x4", "mesh", (4, 4)),
+            ("4x2", "mesh", (4, 2)),
+            ("4x4x2:torus", "torus", (4, 4, 2)),
+            ("8x8:hypercube", "hypercube", (8, 8)),
+            ("2x3x4x5:mesh", "mesh", (2, 3, 4, 5)),
+        ],
+    )
+    def test_grammar(self, text, kind, dims):
+        spec = TopologySpec.parse(text)
+        assert spec.kind == kind
+        assert spec.dims == dims
+
+    def test_link_scales(self):
+        spec = TopologySpec.parse("8x8x4:mesh:z=4.0")
+        assert spec.link_scale == (1.0, 1.0, 4.0)
+        spec2 = TopologySpec.parse("4x4:mesh:x=2,y=0.5")
+        assert spec2.link_scale == (2.0, 0.5)
+
+    def test_chiplet_grammar(self):
+        spec = TopologySpec.parse("chiplet(4x4,hubs=2)")
+        assert spec.kind == "chiplet"
+        assert spec.dims == (4, 4)
+        assert spec.hubs == 2
+        assert spec.is_hierarchical
+        assert spec.num_nodes == 32
+
+    def test_whitespace_tolerated(self):
+        assert TopologySpec.parse(" 4x4 ") == TopologySpec.parse("4x4")
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("", "topology spec expects"),
+            ("4x", "topology spec expects"),
+            ("0x4", "positive"),
+            ("-1x4", "positive"),
+            ("4", "topology spec expects"),
+            ("axb", "topology spec expects"),
+            ("4x4:klein", "unknown topology"),
+            ("4x4:mesh:q=2", "axis"),
+            ("4x4:mesh:z=2", "axis"),
+            ("4x4:mesh:x=nope", "scale"),
+            ("4x4:mesh:x=0", "scale"),
+            ("chiplet(4x4,hubs=0)", "hubs"),
+            ("chiplet(4x4,hubs=x)", "hubs"),
+        ],
+    )
+    def test_rejects(self, bad, match):
+        with pytest.raises(TopologySpecError, match=match):
+            TopologySpec.parse(bad)
+
+    def test_spec_error_is_value_error(self):
+        # Pre-redesign callers caught ValueError; that must keep working.
+        with pytest.raises(ValueError):
+            TopologySpec.parse("4x4:klein")
+
+    def test_wrap_defaults_follow_kind(self):
+        assert TopologySpec.parse("4x4").wrap == (False, False)
+        assert TopologySpec.parse("4x4:torus").wrap == (True, True)
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power"):
+            TopologySpec.parse("3x3:hypercube").build()
+
+
+class TestSpecCanonical:
+    @pytest.mark.parametrize(
+        "text",
+        ["4x4", "4x2", "4x4x2:torus", "8x8:hypercube", "8x8x4:mesh:z=4",
+         "chiplet(4x4,hubs=2)", "4x4:mesh:x=2,y=0.5"],
+    )
+    def test_round_trip(self, text):
+        spec = TopologySpec.parse(text)
+        assert TopologySpec.parse(spec.canonical()) == spec
+
+    def test_dict_round_trip(self):
+        for text in ("4x4", "4x4x2:torus", "chiplet(4x4,hubs=4)",
+                     "8x8x4:mesh:z=4"):
+            spec = TopologySpec.parse(text)
+            assert TopologySpec.from_dict(spec.as_dict()) == spec
+
+    def test_pickle_round_trip(self):
+        spec = TopologySpec.parse("4x4x2:torus")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_frozen(self):
+        spec = TopologySpec.parse("4x4")
+        with pytest.raises(Exception):
+            spec.kind = "torus"
+
+    def test_hashable(self):
+        assert len({TopologySpec.parse("4x4"), TopologySpec.parse("4x4")}) == 1
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_topologies()
+        for kind in ("mesh", "torus", "hypercube", "chiplet"):
+            assert kind in names
+
+    def test_register_and_build(self):
+        def builder(spec):
+            return NDMeshTopology(spec.dims)
+
+        register_topology("testgrid", builder)
+        try:
+            topo = TopologySpec(kind="testgrid", dims=(3, 3)).build()
+            assert topo.num_nodes == 9
+        finally:
+            TOPOLOGIES.pop("testgrid", None)
+
+    def test_unknown_kind_lists_registered(self):
+        with pytest.raises(ValueError, match="registered"):
+            build_topology(TopologySpec(kind="klein", dims=(4, 4)))
+
+    def test_make_topology_shim(self):
+        topo = make_topology("torus", 4, 4)
+        assert isinstance(topo, TorusTopology)
+        assert topo.num_nodes == 16
+
+
+class TestMeshConfigFacade:
+    def test_spec_construction(self):
+        cfg = MeshConfig(spec=TopologySpec.parse("4x4x2:torus"), virtual_channels=2)
+        assert cfg.num_nodes == 32
+        assert cfg.topology == "torus"
+
+    def test_string_spec(self):
+        cfg = MeshConfig(spec="4x4x2:torus", virtual_channels=2)
+        assert cfg.num_nodes == 32
+
+    def test_parse_auto_vcs(self):
+        cfg = MeshConfig.parse("4x4x2:torus")
+        assert cfg.virtual_channels >= 2
+
+    def test_legacy_kwargs_warn_once(self, monkeypatch):
+        import repro.mesh.config as config_mod
+
+        monkeypatch.setattr(config_mod, "_legacy_geometry_warned", False)
+        with pytest.warns(DeprecationWarning, match="TopologySpec"):
+            cfg = MeshConfig(width=4, height=2)
+        assert cfg.spec == TopologySpec(kind="mesh", dims=(4, 2))
+        # Second construction stays silent (one warning per process).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            MeshConfig(width=4, height=2)
+
+    def test_legacy_kwargs_match_spec(self, monkeypatch):
+        import repro.mesh.config as config_mod
+
+        monkeypatch.setattr(config_mod, "_legacy_geometry_warned", True)
+        assert MeshConfig(width=4, height=2) == MeshConfig(spec="4x2")
+        assert (
+            MeshConfig(width=4, height=4, topology="torus", virtual_channels=2)
+            == MeshConfig(spec="4x4:torus", virtual_channels=2)
+        )
+
+    def test_spec_and_legacy_conflict(self, monkeypatch):
+        import repro.mesh.config as config_mod
+
+        monkeypatch.setattr(config_mod, "_legacy_geometry_warned", True)
+        with pytest.raises(ValueError, match="both"):
+            MeshConfig(spec="4x4", width=4)
+
+    def test_width_height_properties(self):
+        cfg = MeshConfig(spec="4x4x2:torus", virtual_channels=2)
+        assert cfg.width == 4
+        assert cfg.width * cfg.height == cfg.num_nodes
+
+    def test_torus_needs_vcs(self):
+        with pytest.raises(ValueError, match="virtual channels"):
+            MeshConfig(spec="4x4:torus", virtual_channels=1)
+
+    def test_adaptive_only_on_plain_mesh(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            MeshConfig(spec="4x4x2:mesh", routing="adaptive", virtual_channels=2)
+
+    def test_pickles(self):
+        cfg = MeshConfig(spec="4x4x2:torus", virtual_channels=2)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+# ---------------------------------------------------------------------------
+# 2-D equivalence: spec-built vs legacy construction
+# ---------------------------------------------------------------------------
+
+dims_2d = st.tuples(st.integers(2, 6), st.integers(1, 5))
+
+
+class TestLegacyEquivalence:
+    @given(dims=dims_2d, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mesh_routes_identical(self, dims, data):
+        width, height = dims
+        legacy = MeshTopology(width, height)
+        built = TopologySpec.parse(f"{width}x{height}").build()
+        n = width * height
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        assert built.route(src, dst) == legacy.route(src, dst)
+        assert built.hops(src, dst) == legacy.hops(src, dst)
+        assert built.neighbors(src) == legacy.neighbors(src)
+
+    @given(dims=dims_2d, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_torus_routes_identical(self, dims, data):
+        width, height = dims
+        legacy = TorusTopology(width, height)
+        built = TopologySpec.parse(f"{width}x{height}:torus").build()
+        n = width * height
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        route_legacy = legacy.route(src, dst)
+        route_built = built.route(src, dst)
+        assert [(h.src, h.dst, h.vclass) for h in route_built] == [
+            (h.src, h.dst, h.vclass) for h in route_legacy
+        ]
+
+    @given(dims=dims_2d, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mesh_route_matches_xy_oracle(self, dims, data):
+        """Independent XY oracle: x to the column, then y to the row."""
+        width, height = dims
+        topo = TopologySpec.parse(f"{width}x{height}").build()
+        n = width * height
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        sx, sy = src % width, src // width
+        dx, dy = dst % width, dst // width
+        expected = []
+        x, y = sx, sy
+        while x != dx:
+            nxt = x + (1 if dx > x else -1)
+            expected.append((y * width + x, y * width + nxt))
+            x = nxt
+        while y != dy:
+            nxt = y + (1 if dy > y else -1)
+            expected.append((y * width + x, nxt * width + x))
+            y = nxt
+        got = [(h.src, h.dst) for h in topo.route(src, dst)]
+        assert got == expected
+        assert len(got) == abs(sx - dx) + abs(sy - dy)
+
+    @pytest.mark.parametrize("spec_text, legacy_kwargs", [
+        ("4x2", dict(width=4, height=2)),
+        ("4x4:torus", dict(width=4, height=4, topology="torus",
+                           virtual_channels=2)),
+        ("4x4:hypercube", dict(width=4, height=4, topology="hypercube")),
+    ])
+    def test_netlogs_bit_identical(self, spec_text, legacy_kwargs, monkeypatch):
+        """The paper's 2-D configs produce bit-identical activity logs
+        whether configured through the spec grammar or legacy kwargs."""
+        import repro.mesh.config as config_mod
+
+        monkeypatch.setattr(config_mod, "_legacy_geometry_warned", True)
+        spec_cfg = MeshConfig(
+            spec=spec_text,
+            virtual_channels=legacy_kwargs.get("virtual_channels", 1),
+        )
+        legacy_cfg = MeshConfig(**legacy_kwargs)
+        assert spec_cfg == legacy_cfg
+        traffic = ScheduleTraffic.compile_pattern(
+            spec_cfg, pattern="uniform", messages_per_source=15, seed=7
+        )
+        a = run_serial_schedule(spec_cfg, traffic)
+        b = run_serial_schedule(legacy_cfg, traffic)
+        assert logs_bit_identical(a.log, b.log)
+        assert a.clock == b.clock
+        assert a.events_fired == b.events_fired
+
+
+# ---------------------------------------------------------------------------
+# N-D routing invariants
+# ---------------------------------------------------------------------------
+
+dims_nd = (
+    st.lists(st.integers(1, 4), min_size=2, max_size=4)
+    .map(tuple)
+    .filter(lambda d: 2 <= math.prod(d) <= 96)
+)
+
+
+def _manhattan(topo, src, dst):
+    s, d = topo.coordinates(src), topo.coordinates(dst)
+    total = 0
+    for axis, (a, b) in enumerate(zip(s, d)):
+        span = abs(a - b)
+        if topo.wrap[axis] and topo.dims[axis] > 1:
+            span = min(span, topo.dims[axis] - span)
+        total += span
+    return total
+
+
+class TestNDRouting:
+    @given(dims=dims_nd, wrap=st.booleans(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_routes_minimal_and_connected(self, dims, wrap, data):
+        topo = NDMeshTopology(dims, wrap=(wrap,) * len(dims))
+        n = topo.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        route = topo.route(src, dst)
+        # Minimal: exactly the (wrap-aware) Manhattan distance.
+        assert len(route) == _manhattan(topo, src, dst) == topo.hops(src, dst)
+        node = src
+        for hop in route:
+            assert hop.src == node
+            assert hop.dst in topo.neighbors(node)
+            node = hop.dst
+        assert node == dst
+
+    @given(dims=dims_nd, wrap=st.booleans(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_dimension_order_monotone(self, dims, wrap, data):
+        """Once a route starts correcting axis k, axes < k never change
+        again -- the dimension-order property region slicing relies on."""
+        topo = NDMeshTopology(dims, wrap=(wrap,) * len(dims))
+        n = topo.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        highest_seen = -1
+        for hop in topo.route(src, dst):
+            a, b = topo.coordinates(hop.src), topo.coordinates(hop.dst)
+            changed = [axis for axis in range(len(dims)) if a[axis] != b[axis]]
+            assert len(changed) == 1
+            assert changed[0] >= highest_seen
+            highest_seen = changed[0]
+
+    @given(size=st.integers(3, 9), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_odd_torus_wrap_shorter_ring(self, size, data):
+        """On any ring (odd sizes included) the route takes the strictly
+        shorter direction, wrapping through the dateline when needed."""
+        topo = NDMeshTopology((size, 1), wrap=(True, True))
+        src = data.draw(st.integers(0, size - 1))
+        dst = data.draw(st.integers(0, size - 1))
+        forward = (dst - src) % size
+        backward = (src - dst) % size
+        route = topo.route(src, dst)
+        assert len(route) == min(forward, backward)
+        wrapped = [h for h in route if abs(h.dst - h.src) > 1]
+        assert len(wrapped) <= 1
+        if wrapped:
+            # Every hop after the dateline rides the escape class.
+            after = route[route.index(wrapped[0]) + 1:]
+            assert all(h.vclass == 1 for h in after)
+
+    def test_scaled_links_carry_scale(self):
+        spec = TopologySpec.parse("4x4x2:mesh:z=4.0")
+        topo = spec.build()
+        # 0 -> 16 is one +z hop: scale 4; in-plane hops keep scale 1.
+        route_z = topo.route(0, 16)
+        assert [h.scale for h in route_z] == [4.0]
+        route_x = topo.route(0, 1)
+        assert [h.scale for h in route_x] == [1.0]
+
+    def test_scale_one_is_default(self):
+        topo = TopologySpec.parse("4x4").build()
+        assert all(
+            h.scale == 1.0 for h in topo.route(0, topo.num_nodes - 1)
+        )
+
+
+class TestChipletRouting:
+    def test_up_down_hub_route(self):
+        topo = ChipletTopology((4, 4), hubs=2)
+        # 3 (chiplet 0) -> 20 (chiplet 1, local 4): up to gateway 0,
+        # hub hop to gateway 16, down to 20.
+        route = topo.route(3, 20)
+        assert route[0].src == 3
+        assert route[-1].dst == 20
+        gateways = {0, 16}
+        hub_hops = [h for h in route if h.src in gateways and h.dst in gateways]
+        assert len(hub_hops) == 1
+
+    @given(hubs=st.integers(2, 4), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_up_down_deadlock_freedom(self, hubs, data):
+        """No vclass-0 (up) hop ever follows a vclass-1 (down) hop, so
+        the channel dependence graph is acyclic."""
+        topo = ChipletTopology((3, 3), hubs=hubs)
+        n = topo.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        route = topo.route(src, dst)
+        node = src
+        seen_down = False
+        for hop in route:
+            assert hop.src == node
+            assert hop.dst in topo.neighbors(node)
+            if hop.vclass == 1:
+                seen_down = True
+            elif seen_down:
+                pytest.fail(f"up hop after down hop in {route}")
+            node = hop.dst
+        assert node == dst
+
+    def test_required_vclasses(self):
+        cfg = MeshConfig.parse("chiplet(4x4,hubs=2)")
+        assert cfg.virtual_channels >= 2
+
+    def test_same_chiplet_stays_local(self):
+        topo = ChipletTopology((4, 4), hubs=2)
+        for hop in topo.route(17, 30):
+            assert topo.chiplet_of(hop.src) == topo.chiplet_of(hop.dst) == 1
+
+
+# ---------------------------------------------------------------------------
+# N-D partitioning and parallel equivalence
+# ---------------------------------------------------------------------------
+
+class TestNDPartition:
+    def test_slices_highest_dimension(self):
+        cfg = MeshConfig(spec="4x3x4:mesh")
+        part = make_partition(cfg, regions=2)
+        assert part.depth == 4
+        assert part.plane == 12
+        assert part.bounds == ((0, 2), (2, 4))
+        sub = part.region_config(0)
+        assert sub.spec.dims == (4, 3, 2)
+
+    def test_lookahead_uses_sliced_axis_scale(self):
+        cfg = MeshConfig(spec="4x4x2:mesh:z=4.0")
+        part = make_partition(cfg, regions=2)
+        assert part.lookahead() == cfg.routing_time + cfg.channel_time * 4.0
+
+    def test_rejects_wrap_and_hierarchy(self):
+        with pytest.raises(ValueError, match="mesh"):
+            make_partition(MeshConfig(spec="4x4x2:torus", virtual_channels=2), 2)
+        with pytest.raises(ValueError, match="mesh"):
+            make_partition(MeshConfig.parse("chiplet(4x4,hubs=2)"), 2)
+
+    def test_route_legs_cross_region_3d(self):
+        cfg = MeshConfig(spec="2x2x4:mesh")
+        part = make_partition(cfg, regions=2)
+        legs = part.route_legs(0, 15)
+        assert [leg[0] for leg in legs] == [0, 1]
+        # Hand-off happens at the destination's in-plane offset.
+        assert legs[0][2] % part.plane == 15 % part.plane
+
+    def test_parallel_matches_serial_3d_layer_local(self):
+        """Boundary-free (layer-local) traffic on a 3-D mesh is
+        bit-identical between the serial and parallel schedulers --
+        the same guarantee the 2-D suite pins for row-local traffic."""
+        cfg = MeshConfig(spec="3x2x4:mesh")
+        traffic = ScheduleTraffic.compile_pattern(
+            cfg, pattern="local", messages_per_source=12, seed=11
+        )
+        serial = run_serial_schedule(cfg, traffic)
+        parallel = run_parallel_mesh(cfg, traffic, regions=2)
+        assert parallel.rounds == 1
+        assert logs_bit_identical(serial.log, parallel.merged_log())
+
+    def test_parallel_conserves_cross_region_3d(self):
+        """Cross-region traffic is re-serialized per leg (latencies
+        legitimately differ), but endpoints, payloads and route lengths
+        are exactly conserved on the 3-D mesh too."""
+        cfg = MeshConfig(spec="3x2x4:mesh")
+        traffic = ScheduleTraffic.compile_pattern(
+            cfg, pattern="uniform", messages_per_source=12, seed=11
+        )
+        serial = run_serial_schedule(cfg, traffic)
+        merged = run_parallel_mesh(cfg, traffic, regions=2).merged_log()
+        assert len(merged) == len(serial.log) == traffic.message_count
+        key = lambda r: (r.src, r.dst, r.length_bytes, r.hops)
+        assert {r.msg_id: key(r) for r in serial.log.records} == {
+            r.msg_id: key(r) for r in merged.records
+        }
+
+    def test_parallel_matches_serial_scaled_links(self):
+        cfg = MeshConfig(spec="2x2x4:mesh:z=2.0")
+        traffic = ScheduleTraffic.compile_pattern(
+            cfg, pattern="local", messages_per_source=10, seed=5
+        )
+        serial = run_serial_schedule(cfg, traffic)
+        parallel = run_parallel_mesh(cfg, traffic, regions=2)
+        assert logs_bit_identical(serial.log, parallel.merged_log())
